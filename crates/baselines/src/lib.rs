@@ -1,0 +1,28 @@
+//! Baseline and ablated dining-philosophers algorithms.
+//!
+//! The paper's evaluation-by-theorem claims only make sense against
+//! contrasts. This crate provides them:
+//!
+//! * [`variants`] — the paper's algorithm with individual mechanisms
+//!   ablated (`no_threshold`, `no_cycle_breaking`, `bare`), attributing
+//!   failure locality to the dynamic threshold and stabilization to the
+//!   depth mechanism;
+//! * [`greedy::GreedyDiners`] — the no-priority diner: maximal
+//!   throughput, no fairness, trivial locality for eating crashes only;
+//! * [`hygienic::HygienicDiners`] — a Chandy–Misra style fork algorithm:
+//!   structurally safe, live from legitimate states, but *not*
+//!   stabilizing and without constant failure locality.
+//!
+//! All baselines implement the same `diners_sim` traits as the paper's
+//! algorithm, so every experiment can sweep over them uniformly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod greedy;
+pub mod hygienic;
+pub mod variants;
+
+pub use greedy::GreedyDiners;
+pub use hygienic::{ForkVar, HygienicDiners};
+pub use variants::{bare, no_cycle_breaking, no_threshold, paper};

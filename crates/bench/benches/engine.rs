@@ -1,0 +1,50 @@
+//! Engine microbenchmarks: raw step throughput of the simulation
+//! substrate running the paper's algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use diners_core::MaliciousCrashDiners;
+use diners_sim::engine::Engine;
+use diners_sim::graph::Topology;
+use diners_sim::scheduler::{LeastRecentScheduler, RandomScheduler};
+
+fn engine_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-steps");
+    for (name, topo) in [
+        ("ring32", Topology::ring(32)),
+        ("grid6x6", Topology::grid(6, 6)),
+        ("random32", Topology::random_connected(32, 0.15, 1)),
+    ] {
+        group.bench_function(format!("{name}/random-daemon"), |b| {
+            let mut engine = Engine::builder(MaliciousCrashDiners::paper(), topo.clone())
+                .scheduler(RandomScheduler::new(1))
+                .seed(1)
+                .build();
+            b.iter(|| {
+                black_box(engine.step());
+            });
+        });
+    }
+    group.bench_function("ring32/least-recent-daemon", |b| {
+        let mut engine = Engine::builder(MaliciousCrashDiners::paper(), Topology::ring(32))
+            .scheduler(LeastRecentScheduler::new())
+            .seed(1)
+            .build();
+        b.iter(|| {
+            black_box(engine.step());
+        });
+    });
+    group.finish();
+}
+
+fn move_enumeration(c: &mut Criterion) {
+    let engine = Engine::builder(MaliciousCrashDiners::paper(), Topology::grid(8, 8))
+        .seed(2)
+        .build();
+    c.bench_function("enabled-moves/grid8x8", |b| {
+        b.iter(|| black_box(engine.enabled_moves().len()));
+    });
+}
+
+criterion_group!(benches, engine_steps, move_enumeration);
+criterion_main!(benches);

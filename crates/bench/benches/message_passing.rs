@@ -1,0 +1,76 @@
+//! Message-passing microbenchmarks: SimNet event throughput and the
+//! per-link handshake round.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use diners_mp::{Node, NodeConfig, NodeEvent, SimNet};
+use diners_sim::fault::FaultPlan;
+use diners_sim::graph::{ProcessId, Topology};
+
+fn simnet_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet-events");
+    for (name, topo) in [
+        ("ring16", Topology::ring(16)),
+        ("grid4x4", Topology::grid(4, 4)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut net = SimNet::new(topo.clone(), FaultPlan::none(), 5);
+            b.iter(|| {
+                net.step();
+                black_box(net.step_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn handshake_round(c: &mut Criterion) {
+    c.bench_function("node-handshake-round", |b| {
+        let mut a = Node::new(NodeConfig {
+            id: ProcessId(0),
+            neighbors: vec![ProcessId(1)],
+            diameter: 1,
+        });
+        let mut z = Node::new(NodeConfig {
+            id: ProcessId(1),
+            neighbors: vec![ProcessId(0)],
+            diameter: 1,
+        });
+        // Kick off.
+        let mut to_z: Vec<_> = a
+            .handle(NodeEvent::Tick)
+            .into_iter()
+            .map(|(_, m)| m)
+            .collect();
+        let mut to_a: Vec<_> = Vec::new();
+        b.iter(|| {
+            if let Some(m) = to_z.pop() {
+                to_a.extend(
+                    z.handle(NodeEvent::Deliver {
+                        from: ProcessId(0),
+                        msg: m,
+                    })
+                    .into_iter()
+                    .map(|(_, m)| m),
+                );
+            }
+            if let Some(m) = to_a.pop() {
+                to_z.extend(
+                    a.handle(NodeEvent::Deliver {
+                        from: ProcessId(1),
+                        msg: m,
+                    })
+                    .into_iter()
+                    .map(|(_, m)| m),
+                );
+            }
+            if to_z.is_empty() && to_a.is_empty() {
+                to_z.extend(a.handle(NodeEvent::Tick).into_iter().map(|(_, m)| m));
+            }
+            black_box(a.meals() + z.meals())
+        });
+    });
+}
+
+criterion_group!(benches, simnet_steps, handshake_round);
+criterion_main!(benches);

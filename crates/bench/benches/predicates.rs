@@ -1,0 +1,59 @@
+//! Predicate-evaluation microbenchmarks: the costs of the paper's
+//! analytic apparatus (NC cycle check, ST shallowness, the red/green
+//! fixpoint, the full invariant).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use diners_core::predicates::{invariant_holds, nc_holds, st_holds};
+use diners_core::redgreen::Colors;
+use diners_core::MaliciousCrashDiners;
+use diners_sim::algorithm::SystemState;
+use diners_sim::fault::Health;
+use diners_sim::graph::Topology;
+use diners_sim::predicate::Snapshot;
+
+fn fixture(n_dead: usize) -> (Topology, SystemState<MaliciousCrashDiners>, Vec<Health>) {
+    let topo = Topology::grid(6, 6);
+    let alg = MaliciousCrashDiners::paper();
+    let mut state = SystemState::initial(&alg, &topo);
+    state.corrupt_all(&alg, &topo, &mut diners_sim::rng::rng(3));
+    let mut health = vec![Health::Live; topo.len()];
+    for i in 0..n_dead {
+        health[(i * 7) % 36] = Health::Dead;
+    }
+    (topo, state, health)
+}
+
+fn predicate_costs(c: &mut Criterion) {
+    let (topo, state, health) = fixture(2);
+    let bound = topo.diameter();
+    let mut group = c.benchmark_group("predicates-grid6x6");
+    group.bench_function("NC", |b| {
+        b.iter(|| {
+            let snap = Snapshot::new(&topo, &state, &health);
+            black_box(nc_holds(&snap))
+        })
+    });
+    group.bench_function("ST", |b| {
+        b.iter(|| {
+            let snap = Snapshot::new(&topo, &state, &health);
+            black_box(st_holds(&snap, bound))
+        })
+    });
+    group.bench_function("I", |b| {
+        b.iter(|| {
+            let snap = Snapshot::new(&topo, &state, &health);
+            black_box(invariant_holds(&snap, bound))
+        })
+    });
+    group.bench_function("red-green-fixpoint", |b| {
+        b.iter(|| {
+            let snap = Snapshot::new(&topo, &state, &health);
+            black_box(Colors::compute(&snap).red_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, predicate_costs);
+criterion_main!(benches);

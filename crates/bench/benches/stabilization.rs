@@ -1,0 +1,36 @@
+//! End-to-end stabilization latency as a benchmark: one iteration = a
+//! full run from a corrupted state until the invariant holds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use diners_core::harness::stabilization_steps;
+use diners_core::MaliciousCrashDiners;
+use diners_sim::graph::Topology;
+
+fn stabilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stabilization-corrected");
+    group.sample_size(20);
+    for (name, topo) in [
+        ("ring16", Topology::ring(16)),
+        ("grid4x4", Topology::grid(4, 4)),
+        ("complete8", Topology::complete(8)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let steps = stabilization_steps(
+                    MaliciousCrashDiners::corrected(),
+                    topo.clone(),
+                    seed,
+                    200_000,
+                );
+                black_box(steps.expect("must stabilize"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stabilization);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Run every experiment in sequence (the full reproduction suite).
+//! Pass --quick for the reduced sweep.
+
+use diners_bench::Scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+
+    let (report, table) = diners_bench::experiments::fig2::run();
+    println!("{table}");
+    assert!(report.all_reproduced(), "FIG2 failed to reproduce");
+
+    println!("{}", diners_bench::experiments::stabilization::run(&scale));
+    println!("{}", diners_bench::experiments::stabilization::run_dense(&scale));
+    println!("{}", diners_bench::experiments::locality::run(&scale));
+    println!("{}", diners_bench::experiments::malicious::run(&scale));
+    println!("{}", diners_bench::experiments::cycles::run(&scale));
+    println!("{}", diners_bench::experiments::throughput::run(&scale));
+    println!("{}", diners_bench::experiments::masking::run(&scale));
+    println!("{}", diners_bench::experiments::message_passing::run(&scale));
+    println!("{}", diners_bench::experiments::daemons::run(&scale));
+}

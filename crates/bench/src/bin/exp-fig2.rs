@@ -1,0 +1,17 @@
+//! FIG2: replay the paper's Figure 2 computation and verify each
+//! depicted property.
+
+fn main() {
+    let (report, table) = diners_bench::experiments::fig2::run();
+    println!("{table}");
+    println!("replayed computation:");
+    for line in &report.narrative {
+        println!("  {line}");
+    }
+    if report.all_reproduced() {
+        println!("\nFIG2: all properties reproduced.");
+    } else {
+        println!("\nFIG2: MISMATCH — see table above.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment binary; pass --quick for the reduced test-scale sweep.
+
+use diners_bench::Scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let table = diners_bench::experiments::masking::run(&scale);
+    println!("{table}");
+    println!("{}", table.to_csv());
+}

@@ -1,0 +1,14 @@
+//! Experiment binary; pass --quick for the reduced test-scale sweep.
+
+use diners_bench::Scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let table = diners_bench::experiments::stabilization::run(&scale);
+    println!("{table}");
+    let dense = diners_bench::experiments::stabilization::run_dense(&scale);
+    println!("{dense}");
+    println!("{}", table.to_csv());
+    println!("{}", dense.to_csv());
+}

@@ -1,0 +1,14 @@
+//! One module per experiment; each exposes `run(&Scale) -> Table`
+//! (FIG2's also returns the structured report). The `exp-*` binaries are
+//! thin wrappers, and the integration suite re-runs everything at
+//! [`crate::common::Scale::quick`].
+
+pub mod cycles;
+pub mod daemons;
+pub mod fig2;
+pub mod locality;
+pub mod malicious;
+pub mod masking;
+pub mod message_passing;
+pub mod stabilization;
+pub mod throughput;

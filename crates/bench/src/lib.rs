@@ -1,0 +1,27 @@
+//! Experiment harness for the malicious-crash diners reproduction.
+//!
+//! Every figure and theorem-backed claim of the paper maps to one
+//! experiment module (see `DESIGN.md` §4 for the index):
+//!
+//! | id   | claim                                   | module |
+//! |------|-----------------------------------------|--------|
+//! | FIG2 | the example computation                 | [`experiments::fig2`] |
+//! | T1   | Theorem 1 — stabilization to `I`        | [`experiments::stabilization`] |
+//! | T2   | Theorems 2+3 — failure locality ≤ 2     | [`experiments::locality`] |
+//! | T3   | malicious crashes / MCA(m=2)            | [`experiments::malicious`] |
+//! | T4   | Lemma 1 — cycle breaking                | [`experiments::cycles`] |
+//! | T5   | fault-free service vs baselines         | [`experiments::throughput`] |
+//! | T6   | masking outside the locality            | [`experiments::masking`] |
+//! | T7   | §4 message-passing transformation       | [`experiments::message_passing`] |
+//! | T8   | daemon robustness (synchronous rounds)  | [`experiments::daemons`] |
+//!
+//! Run them all with `cargo run -p diners-bench --release --bin exp-all`,
+//! or individually via the `exp-*` binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod common;
+pub mod experiments;
+
+pub use common::Scale;

@@ -1,0 +1,631 @@
+//! The paper's program (Figure 1): five actions per process.
+//!
+//! ```text
+//! join:     needs():p ∧ state:p=T ∧ (∀q : priority:p:q=q : state:q=T)        → state:p := H
+//! leave:    state:p=H ∧ (∃q : priority:p:q=q : state:q≠T)                    → state:p := T
+//! enter:    state:p=H ∧ (∀q : priority:p:q=q : state:q=T)
+//!                     ∧ (∀q : priority:p:q=p : state:q≠E)                    → state:p := E
+//! exit:     state:p=E ∨ depth:p>D       → state:p := T; depth:p := 0; (∀q :: priority:p:q := q)
+//! fixdepth: (∃q : priority:p:q=p : depth:p < depth:q+1)                      → depth:p := depth:q+1
+//! ```
+//!
+//! `leave` is the *dynamic threshold* preemption that yields to descendants
+//! while an ancestor blocks progress — this is what bounds failure locality
+//! at 2. `fixdepth` propagates depth from descendants; once a priority
+//! cycle pumps some `depth` past the diameter `D`, `exit`'s second disjunct
+//! breaks the cycle — this is what makes the program stabilizing. Both
+//! mechanisms can be disabled individually (the ablated variants used as
+//! experiment baselines).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use diners_sim::algorithm::{ActionId, ActionKind, Algorithm, DinerAlgorithm, Phase, View, Write};
+use diners_sim::graph::{EdgeId, ProcessId, Topology};
+
+use crate::state::{DinerLocal, PriorityVar};
+
+/// Action kind index of `join`.
+pub const JOIN: usize = 0;
+/// Action kind index of `leave` (dynamic threshold).
+pub const LEAVE: usize = 1;
+/// Action kind index of `enter`.
+pub const ENTER: usize = 2;
+/// Action kind index of `exit`.
+pub const EXIT: usize = 3;
+/// Action kind index of `fixdepth` (per-neighbor).
+pub const FIXDEPTH: usize = 4;
+
+const KINDS: &[ActionKind] = &[
+    ActionKind {
+        name: "join",
+        per_neighbor: false,
+    },
+    ActionKind {
+        name: "leave",
+        per_neighbor: false,
+    },
+    ActionKind {
+        name: "enter",
+        per_neighbor: false,
+    },
+    ActionKind {
+        name: "exit",
+        per_neighbor: false,
+    },
+    ActionKind {
+        name: "fixdepth",
+        per_neighbor: true,
+    },
+];
+
+/// The threshold above which `depth` is taken as evidence of a priority
+/// cycle (the `depth > bound` disjunct of `exit`).
+///
+/// The paper uses the graph **diameter** `D`. That test has *false
+/// positives*: the longest simple path in an acyclic priority graph can
+/// exceed the diameter (on a complete graph every acyclic orientation
+/// contains a Hamiltonian path of length `n-1`, while `D = 1`), in which
+/// case live processes keep depth-exiting forever and the invariant `I`
+/// never stabilizes — a soundness gap in the paper that our T1
+/// experiment demonstrates on dense topologies. [`DepthBound::LongestPath`]
+/// uses `n`, a strict upper bound on every simple path (and exceeded by
+/// transient Hamiltonian ancestor chains that `n - 1` would flag), while
+/// the unbounded depth growth inside any cycle still crosses it — so it
+/// detects exactly the cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DepthBound {
+    /// The paper's choice: the graph diameter `D`.
+    #[default]
+    Diameter,
+    /// The corrected choice: `n`, exceeding every simple-path length.
+    LongestPath,
+}
+
+impl DepthBound {
+    /// The concrete threshold for a topology.
+    pub fn effective(self, topo: &Topology) -> u32 {
+        match self {
+            DepthBound::Diameter => topo.diameter(),
+            DepthBound::LongestPath => topo.len() as u32,
+        }
+    }
+}
+
+/// Which mechanisms of the paper's program are active. The full program
+/// is [`Variant::paper`]; the ablations serve as experiment baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Variant {
+    /// Dynamic-threshold preemption (`leave`). Disabling it removes the
+    /// failure-locality guarantee: waiting chains become unbounded.
+    pub dynamic_threshold: bool,
+    /// Depth-based cycle breaking (`fixdepth` + the `depth>D` disjunct of
+    /// `exit`). Disabling it removes stabilization: a priority cycle in
+    /// the initial state is never broken.
+    pub cycle_breaking: bool,
+    /// The cycle-evidence threshold (see [`DepthBound`]).
+    pub depth_bound: DepthBound,
+}
+
+impl Variant {
+    /// The full program of the paper.
+    pub fn paper() -> Self {
+        Variant {
+            dynamic_threshold: true,
+            cycle_breaking: true,
+            depth_bound: DepthBound::Diameter,
+        }
+    }
+
+    /// The paper's program with the corrected cycle-evidence threshold
+    /// (`n` instead of the diameter); see [`DepthBound`].
+    pub fn corrected() -> Self {
+        Variant {
+            depth_bound: DepthBound::LongestPath,
+            ..Variant::paper()
+        }
+    }
+
+    /// Ablation: no `leave` (unbounded failure locality).
+    pub fn without_threshold() -> Self {
+        Variant {
+            dynamic_threshold: false,
+            ..Variant::paper()
+        }
+    }
+
+    /// Ablation: no `fixdepth` / depth-`exit` (not stabilizing).
+    pub fn without_cycle_breaking() -> Self {
+        Variant {
+            cycle_breaking: false,
+            ..Variant::paper()
+        }
+    }
+
+    /// Ablation: neither mechanism (a plain acyclic-priority diner).
+    pub fn bare() -> Self {
+        Variant {
+            dynamic_threshold: false,
+            cycle_breaking: false,
+            ..Variant::paper()
+        }
+    }
+}
+
+/// The Nesterenko–Arora stabilizing, failure-locality-2 dining
+/// philosophers algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use diners_core::MaliciousCrashDiners;
+/// use diners_sim::{Engine, FaultPlan, Topology};
+/// use diners_sim::scheduler::RandomScheduler;
+///
+/// let mut engine = Engine::builder(MaliciousCrashDiners::paper(), Topology::ring(8))
+///     .scheduler(RandomScheduler::new(7))
+///     .faults(FaultPlan::new().from_arbitrary_state().malicious_crash(100, 2, 8))
+///     .seed(7)
+///     .build();
+/// engine.run(20_000);
+/// assert!(engine.metrics().total_eats() > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaliciousCrashDiners {
+    variant: Variant,
+    name: &'static str,
+}
+
+impl MaliciousCrashDiners {
+    /// The full program of the paper (Figure 1).
+    pub fn paper() -> Self {
+        MaliciousCrashDiners {
+            variant: Variant::paper(),
+            name: "nesterenko-arora",
+        }
+    }
+
+    /// The paper's program with the corrected `n` cycle-evidence bound
+    /// (see [`DepthBound`]); needed for stabilization on topologies whose
+    /// priority chains can exceed the diameter (e.g. dense graphs).
+    pub fn corrected() -> Self {
+        MaliciousCrashDiners {
+            variant: Variant::corrected(),
+            name: "corrected-bound",
+        }
+    }
+
+    /// Construct an ablated variant.
+    pub fn with_variant(variant: Variant) -> Self {
+        let name = match (
+            variant.dynamic_threshold,
+            variant.cycle_breaking,
+            variant.depth_bound,
+        ) {
+            (true, true, DepthBound::Diameter) => "nesterenko-arora",
+            (true, true, DepthBound::LongestPath) => "corrected-bound",
+            (false, true, _) => "no-threshold",
+            (true, false, _) => "no-cycle-breaking",
+            (false, false, _) => "bare-priority",
+        };
+        MaliciousCrashDiners { variant, name }
+    }
+
+    /// The effective cycle-evidence threshold on `topo`.
+    pub fn depth_bound(&self, topo: &Topology) -> u32 {
+        self.variant.depth_bound.effective(topo)
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Direct ancestors of the viewing process: neighbors `q` with
+    /// `priority:p:q = q` (the edge is directed towards `p`).
+    pub fn direct_ancestors(&self, view: &View<'_, Self>) -> Vec<ProcessId> {
+        view.neighbors()
+            .iter()
+            .copied()
+            .filter(|&q| self.is_ancestor(view, q))
+            .collect()
+    }
+
+    /// Direct descendants of the viewing process: neighbors `q` with
+    /// `priority:p:q = p` (the edge is directed towards `q`).
+    pub fn direct_descendants(&self, view: &View<'_, Self>) -> Vec<ProcessId> {
+        view.neighbors()
+            .iter()
+            .copied()
+            .filter(|&q| self.is_descendant(view, q))
+            .collect()
+    }
+
+    fn is_ancestor(&self, view: &View<'_, Self>, q: ProcessId) -> bool {
+        view.edge_to(q).ancestor == q
+    }
+
+    fn is_descendant(&self, view: &View<'_, Self>, q: ProcessId) -> bool {
+        view.edge_to(q).ancestor == view.pid()
+    }
+
+    fn all_ancestors_thinking(&self, view: &View<'_, Self>) -> bool {
+        view.neighbors().iter().all(|&q| {
+            !self.is_ancestor(view, q) || view.neighbor_local(q).phase == Phase::Thinking
+        })
+    }
+
+    fn some_ancestor_not_thinking(&self, view: &View<'_, Self>) -> bool {
+        view.neighbors().iter().any(|&q| {
+            self.is_ancestor(view, q) && view.neighbor_local(q).phase != Phase::Thinking
+        })
+    }
+
+    fn no_descendant_eating(&self, view: &View<'_, Self>) -> bool {
+        view.neighbors().iter().all(|&q| {
+            !self.is_descendant(view, q) || view.neighbor_local(q).phase != Phase::Eating
+        })
+    }
+}
+
+impl Algorithm for MaliciousCrashDiners {
+    type Local = DinerLocal;
+    type Edge = PriorityVar;
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn kinds(&self) -> &[ActionKind] {
+        KINDS
+    }
+
+    fn init_local(&self, _topo: &Topology, _p: ProcessId) -> DinerLocal {
+        DinerLocal::initial()
+    }
+
+    fn init_edge(&self, topo: &Topology, e: EdgeId) -> PriorityVar {
+        // Legitimate initial priority graph: every edge directed from its
+        // lower endpoint to its higher endpoint — acyclic by construction.
+        let (lo, _hi) = topo.endpoints(e);
+        PriorityVar::ancestor_is(lo)
+    }
+
+    fn enabled(&self, view: &View<'_, Self>, action: ActionId) -> bool {
+        let me = view.local();
+        match action.kind {
+            JOIN => {
+                view.needs()
+                    && me.phase == Phase::Thinking
+                    && self.all_ancestors_thinking(view)
+            }
+            LEAVE => {
+                self.variant.dynamic_threshold
+                    && me.phase == Phase::Hungry
+                    && self.some_ancestor_not_thinking(view)
+            }
+            ENTER => {
+                me.phase == Phase::Hungry
+                    && self.all_ancestors_thinking(view)
+                    && self.no_descendant_eating(view)
+            }
+            EXIT => {
+                me.phase == Phase::Eating
+                    || (self.variant.cycle_breaking
+                        && me.depth > self.variant.depth_bound.effective(view.topology()))
+            }
+            FIXDEPTH => {
+                if !self.variant.cycle_breaking {
+                    return false;
+                }
+                let slot = action.slot.expect("fixdepth is per-neighbor");
+                if slot >= view.neighbors().len() {
+                    return false;
+                }
+                let q = view.neighbor_at(slot);
+                self.is_descendant(view, q)
+                    && me.depth < view.neighbor_local(q).depth.saturating_add(1)
+            }
+            _ => false,
+        }
+    }
+
+    fn execute(&self, view: &View<'_, Self>, action: ActionId) -> Vec<Write<Self>> {
+        let me = *view.local();
+        match action.kind {
+            JOIN => vec![Write::Local(DinerLocal {
+                phase: Phase::Hungry,
+                ..me
+            })],
+            LEAVE => vec![Write::Local(DinerLocal {
+                phase: Phase::Thinking,
+                ..me
+            })],
+            ENTER => vec![Write::Local(DinerLocal {
+                phase: Phase::Eating,
+                ..me
+            })],
+            EXIT => {
+                // state:p := T; depth:p := 0; (∀q :: priority:p:q := q)
+                let mut writes: Vec<Write<Self>> = vec![Write::Local(DinerLocal {
+                    phase: Phase::Thinking,
+                    depth: 0,
+                })];
+                for &q in view.neighbors() {
+                    writes.push(Write::Edge {
+                        neighbor: q,
+                        value: PriorityVar::ancestor_is(q),
+                    });
+                }
+                writes
+            }
+            FIXDEPTH => {
+                let slot = action.slot.expect("fixdepth is per-neighbor");
+                let q = view.neighbor_at(slot);
+                let depth = view.neighbor_local(q).depth.saturating_add(1);
+                vec![Write::Local(DinerLocal { depth, ..me })]
+            }
+            _ => unreachable!("unknown action {action:?}"),
+        }
+    }
+
+    fn corrupt_local(&self, rng: &mut StdRng, topo: &Topology, _p: ProcessId) -> DinerLocal {
+        let phase = match rng.gen_range(0..3) {
+            0 => Phase::Thinking,
+            1 => Phase::Hungry,
+            _ => Phase::Eating,
+        };
+        // Depth domain for corruption: comfortably past the cycle-evidence
+        // threshold so the depth-exit path is exercised from arbitrary
+        // states (the variable is unbounded in the paper).
+        let bound = self.variant.depth_bound.effective(topo);
+        let depth = rng.gen_range(0..=bound * 2 + 8);
+        DinerLocal { phase, depth }
+    }
+
+    fn corrupt_edge(&self, rng: &mut StdRng, topo: &Topology, e: EdgeId) -> PriorityVar {
+        // The variable's domain is the two endpoints; corruption stays in
+        // the domain (the paper: the variable "holds the identifier of
+        // either p or q").
+        let (a, b) = topo.endpoints(e);
+        PriorityVar::ancestor_is(if rng.gen_bool(0.5) { a } else { b })
+    }
+
+    fn malicious_writes(&self, view: &View<'_, Self>, rng: &mut StdRng) -> Vec<Write<Self>> {
+        // One arbitrary step, restricted to the process's capability:
+        // arbitrary writes to its own local variables, plus — for any
+        // subset of incident edges — *yielding* the edge (the only shared
+        // update the model permits a process).
+        let mut writes: Vec<Write<Self>> =
+            vec![Write::Local(self.corrupt_local(rng, view.topology(), view.pid()))];
+        for &q in view.neighbors() {
+            if rng.gen_bool(0.5) {
+                writes.push(Write::Edge {
+                    neighbor: q,
+                    value: PriorityVar::ancestor_is(q),
+                });
+            }
+        }
+        writes
+    }
+}
+
+impl DinerAlgorithm for MaliciousCrashDiners {
+    fn phase(&self, local: &DinerLocal) -> Phase {
+        local.phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diners_sim::algorithm::SystemState;
+    use diners_sim::graph::Topology;
+
+    type State = SystemState<MaliciousCrashDiners>;
+
+    fn alg() -> MaliciousCrashDiners {
+        MaliciousCrashDiners::paper()
+    }
+
+    /// Line 0-1-2 with legitimate initial state; edge ancestors are the
+    /// lower endpoints, so 0 -> 1 -> 2 in the priority graph.
+    fn line3() -> (Topology, State) {
+        let t = Topology::line(3);
+        let s = State::initial(&alg(), &t);
+        (t, s)
+    }
+
+    fn set_phase(s: &mut State, p: usize, ph: Phase) {
+        s.local_mut(ProcessId(p)).phase = ph;
+    }
+
+    fn enabled(t: &Topology, s: &State, p: usize, a: ActionId, needs: bool) -> bool {
+        let v = View::new(t, s, ProcessId(p), needs);
+        alg().enabled(&v, a)
+    }
+
+    #[test]
+    fn initial_priority_graph_points_low_to_high() {
+        let (t, s) = line3();
+        for (i, &(lo, _hi)) in t.edges().iter().enumerate() {
+            assert_eq!(s.edge(diners_sim::graph::EdgeId(i)).ancestor, lo);
+        }
+    }
+
+    #[test]
+    fn join_requires_thinking_ancestors_and_needs() {
+        let (t, mut s) = line3();
+        // p1's ancestor is p0.
+        assert!(enabled(&t, &s, 1, ActionId::global(JOIN), true));
+        assert!(!enabled(&t, &s, 1, ActionId::global(JOIN), false));
+        set_phase(&mut s, 0, Phase::Hungry);
+        assert!(
+            !enabled(&t, &s, 1, ActionId::global(JOIN), true),
+            "hungry ancestor blocks join"
+        );
+        set_phase(&mut s, 0, Phase::Thinking);
+        // p0 has no ancestors: joinable whenever thinking and needy.
+        assert!(enabled(&t, &s, 0, ActionId::global(JOIN), true));
+        set_phase(&mut s, 2, Phase::Eating);
+        assert!(
+            enabled(&t, &s, 1, ActionId::global(JOIN), true),
+            "descendant's phase does not gate join"
+        );
+    }
+
+    #[test]
+    fn leave_fires_only_with_non_thinking_ancestor() {
+        let (t, mut s) = line3();
+        set_phase(&mut s, 1, Phase::Hungry);
+        assert!(!enabled(&t, &s, 1, ActionId::global(LEAVE), true));
+        set_phase(&mut s, 0, Phase::Hungry);
+        assert!(enabled(&t, &s, 1, ActionId::global(LEAVE), true));
+        set_phase(&mut s, 0, Phase::Eating);
+        assert!(enabled(&t, &s, 1, ActionId::global(LEAVE), true));
+    }
+
+    #[test]
+    fn leave_disabled_in_no_threshold_variant() {
+        let t = Topology::line(3);
+        let a = MaliciousCrashDiners::with_variant(Variant::without_threshold());
+        let mut s = SystemState::initial(&a, &t);
+        s.local_mut(ProcessId(1)).phase = Phase::Hungry;
+        s.local_mut(ProcessId(0)).phase = Phase::Hungry;
+        let v = View::new(&t, &s, ProcessId(1), true);
+        assert!(!a.enabled(&v, ActionId::global(LEAVE)));
+        assert_eq!(a.name(), "no-threshold");
+    }
+
+    #[test]
+    fn enter_needs_thinking_ancestors_and_no_eating_descendants() {
+        let (t, mut s) = line3();
+        set_phase(&mut s, 1, Phase::Hungry);
+        assert!(enabled(&t, &s, 1, ActionId::global(ENTER), true));
+        set_phase(&mut s, 2, Phase::Eating); // p2 is p1's descendant
+        assert!(!enabled(&t, &s, 1, ActionId::global(ENTER), true));
+        set_phase(&mut s, 2, Phase::Hungry);
+        assert!(
+            enabled(&t, &s, 1, ActionId::global(ENTER), true),
+            "hungry descendant does not block enter"
+        );
+        set_phase(&mut s, 0, Phase::Hungry); // ancestor hungry
+        assert!(!enabled(&t, &s, 1, ActionId::global(ENTER), true));
+    }
+
+    #[test]
+    fn exit_fires_when_eating_or_depth_exceeds_diameter() {
+        let (t, mut s) = line3();
+        assert!(!enabled(&t, &s, 1, ActionId::global(EXIT), true));
+        set_phase(&mut s, 1, Phase::Eating);
+        assert!(enabled(&t, &s, 1, ActionId::global(EXIT), true));
+        set_phase(&mut s, 1, Phase::Thinking);
+        s.local_mut(ProcessId(1)).depth = t.diameter() + 1;
+        assert!(enabled(&t, &s, 1, ActionId::global(EXIT), true));
+        // Depth exactly D does not trigger.
+        s.local_mut(ProcessId(1)).depth = t.diameter();
+        assert!(!enabled(&t, &s, 1, ActionId::global(EXIT), true));
+    }
+
+    #[test]
+    fn depth_exit_disabled_without_cycle_breaking() {
+        let t = Topology::line(3);
+        let a = MaliciousCrashDiners::with_variant(Variant::without_cycle_breaking());
+        let mut s = SystemState::initial(&a, &t);
+        s.local_mut(ProcessId(1)).depth = 99;
+        let v = View::new(&t, &s, ProcessId(1), true);
+        assert!(!a.enabled(&v, ActionId::global(EXIT)));
+        assert!(!a.enabled(&v, ActionId::at_slot(FIXDEPTH, 0)));
+    }
+
+    #[test]
+    fn exit_yields_every_edge_and_resets_depth() {
+        let (t, mut s) = line3();
+        set_phase(&mut s, 1, Phase::Eating);
+        s.local_mut(ProcessId(1)).depth = 2;
+        let v = View::new(&t, &s, ProcessId(1), true);
+        let writes = alg().execute(&v, ActionId::global(EXIT));
+        // local + 2 edges
+        assert_eq!(writes.len(), 3);
+        match &writes[0] {
+            Write::Local(l) => {
+                assert_eq!(l.phase, Phase::Thinking);
+                assert_eq!(l.depth, 0);
+            }
+            w => panic!("expected local write, got {w:?}"),
+        }
+        for w in &writes[1..] {
+            match w {
+                Write::Edge { neighbor, value } => assert_eq!(value.ancestor, *neighbor),
+                w => panic!("expected edge write, got {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fixdepth_guard_and_effect() {
+        let (t, mut s) = line3();
+        // p1's descendant is p2 (ancestor of edge (1,2) is 1).
+        s.local_mut(ProcessId(2)).depth = 5;
+        let slot = t.slot_of(ProcessId(1), ProcessId(2));
+        assert!(enabled(&t, &s, 1, ActionId::at_slot(FIXDEPTH, slot), true));
+        let v = View::new(&t, &s, ProcessId(1), true);
+        let writes = alg().execute(&v, ActionId::at_slot(FIXDEPTH, slot));
+        match &writes[0] {
+            Write::Local(l) => assert_eq!(l.depth, 6),
+            w => panic!("expected local write, got {w:?}"),
+        }
+        // Not enabled toward an ancestor.
+        let slot0 = t.slot_of(ProcessId(1), ProcessId(0));
+        s.local_mut(ProcessId(0)).depth = 50;
+        assert!(!enabled(&t, &s, 1, ActionId::at_slot(FIXDEPTH, slot0), true));
+        // Not enabled when depth already large enough.
+        s.local_mut(ProcessId(1)).depth = 6;
+        assert!(!enabled(&t, &s, 1, ActionId::at_slot(FIXDEPTH, slot), true));
+    }
+
+    #[test]
+    fn corrupt_edge_stays_in_domain() {
+        let t = Topology::ring(5);
+        let mut r = diners_sim::rng::rng(3);
+        for e in 0..t.edge_count() {
+            let id = diners_sim::graph::EdgeId(e);
+            let v = alg().corrupt_edge(&mut r, &t, id);
+            let (a, b) = t.endpoints(id);
+            assert!(v.ancestor == a || v.ancestor == b);
+        }
+    }
+
+    #[test]
+    fn malicious_writes_respect_capability() {
+        let t = Topology::star(5);
+        let s = State::initial(&alg(), &t);
+        let hub = ProcessId(0);
+        let v = View::new(&t, &s, hub, false);
+        let mut r = diners_sim::rng::rng(11);
+        for _ in 0..50 {
+            for w in alg().malicious_writes(&v, &mut r) {
+                if let Write::Edge { neighbor, value } = w {
+                    assert_eq!(
+                        value.ancestor, neighbor,
+                        "a process may only yield priority, never grab it"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(MaliciousCrashDiners::paper().name(), "nesterenko-arora");
+        assert_eq!(
+            MaliciousCrashDiners::with_variant(Variant::bare()).name(),
+            "bare-priority"
+        );
+        assert_eq!(
+            MaliciousCrashDiners::with_variant(Variant::without_cycle_breaking()).name(),
+            "no-cycle-breaking"
+        );
+        assert_eq!(MaliciousCrashDiners::paper().variant(), Variant::paper());
+    }
+}

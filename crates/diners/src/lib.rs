@@ -1,0 +1,73 @@
+//! The Nesterenko–Arora malicious-crash-tolerant dining philosophers
+//! algorithm (ICDCS 2002), with the paper's full analytic apparatus.
+//!
+//! The algorithm combines two mechanisms on top of a classic
+//! acyclic-priority diner:
+//!
+//! * **Dynamic-threshold preemption** (`leave`): a hungry process yields
+//!   to its descendants whenever a direct ancestor is not thinking,
+//!   bounding the reach of a crash at graph distance 2 — the optimal
+//!   crash failure locality for diners (Choy & Singh).
+//! * **Depth-based cycle breaking** (`fixdepth` + `exit` on
+//!   `depth > D`): every process tracks the distance to its farthest
+//!   descendant; a priority cycle pumps some depth past the diameter,
+//!   forcing an `exit` that breaks the cycle — making the program
+//!   self-stabilizing from arbitrary states.
+//!
+//! Together they tolerate **malicious crashes**: a faulty process may
+//! behave arbitrarily (within its write capability) for a finite time and
+//! then halt, undetectably; the system recovers everywhere outside the
+//! crash's distance-2 neighborhood.
+//!
+//! # Crate layout
+//!
+//! * [`algorithm`] — the five-action program of Figure 1
+//!   ([`MaliciousCrashDiners`]), including the ablated variants used as
+//!   experiment baselines.
+//! * [`state`] — the variable types (`state`, `depth`, `priority`).
+//! * [`roles`] — priority-graph queries (ancestors, descendants, `l:p`).
+//! * [`predicates`] — the paper's `NC`, `SH`, `ST`, `E` and invariant `I`.
+//! * [`redgreen`] — the `RD` red/green fixpoint and the analytic
+//!   failure-locality radius.
+//! * [`locality`] — behavioral (run-based) locality measurement.
+//! * [`mca`] — the malicious-crash tolerance problem checker.
+//! * [`figures`] — the exact reproduction of the paper's Figure 2.
+//! * [`harness`] — convenience runners for tests and experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use diners_core::{MaliciousCrashDiners, predicates::Invariant};
+//! use diners_sim::{Engine, FaultPlan, Topology};
+//! use diners_sim::scheduler::RandomScheduler;
+//!
+//! // Start from a fully arbitrary state and stabilize. (The corrected
+//! // n-1 depth bound makes Theorem 1 reproducible on every topology;
+//! // see the T1 experiment for why the paper's diameter bound churns.)
+//! let alg = MaliciousCrashDiners::corrected();
+//! let invariant = Invariant::for_algorithm(&alg);
+//! let mut engine = Engine::builder(alg, Topology::grid(3, 3))
+//!     .scheduler(RandomScheduler::new(1))
+//!     .faults(FaultPlan::new().from_arbitrary_state())
+//!     .seed(1)
+//!     .build();
+//! let converged = engine.convergence_step(&invariant, 50_000);
+//! assert!(converged.is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithm;
+pub mod figures;
+pub mod harness;
+pub mod locality;
+pub mod mca;
+pub mod predicates;
+pub mod redgreen;
+pub mod roles;
+pub mod state;
+
+pub use algorithm::{DepthBound, MaliciousCrashDiners, Variant, ENTER, EXIT, FIXDEPTH, JOIN, LEAVE};
+pub use redgreen::{affected_radius, Colors};
+pub use state::{DinerLocal, PriorityVar};

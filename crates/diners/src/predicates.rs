@@ -1,0 +1,447 @@
+//! The paper's predicates: `NC`, `SH`, `ST`, `E` and the invariant
+//! `I = NC ∧ ST ∧ E` (§3.1).
+//!
+//! * `NC` — every priority-graph cycle contains a dead process (Lemma 1).
+//! * `SH:p` — `p` is *shallow*: dead, or `depth:p ≤ B` and every direct
+//!   descendant `q` satisfies `depth:q + l:p ≤ B` or
+//!   `depth:q + 1 ≤ depth:p` (it can neither exit on depth nor push an
+//!   ancestor past the bound).
+//! * stably shallow — shallow and (dead or all live descendants shallow);
+//!   a closed set (Lemma 2).
+//! * `ST` — every process is stably shallow (Lemma 3).
+//! * `E` — two neighbors eat simultaneously only if both are dead
+//!   (Lemma 4).
+//!
+//! `B` is the cycle-evidence threshold: the paper's `D` (diameter) or
+//! the corrected `n-1` (see [`DepthBound`]); the predicate must use the
+//! same bound as the algorithm variant under test, or `ST` describes a
+//! different program.
+//!
+//! All of these are *parameterized over live processes only* in the
+//! paper; our implementations treat non-dead (live or byzantine)
+//! processes as live, the stricter reading.
+
+use diners_sim::graph::ProcessId;
+use diners_sim::predicate::StatePredicate;
+use diners_sim::Phase;
+
+use crate::algorithm::{DepthBound, MaliciousCrashDiners};
+use crate::roles::{
+    direct_descendants, live_ancestor_chain, live_cycle_exists, transitive_descendants,
+    DinerSnapshot,
+};
+
+/// `NC`: the priority graph has no cycle consisting solely of non-dead
+/// processes.
+pub fn nc_holds(snap: &DinerSnapshot<'_>) -> bool {
+    !live_cycle_exists(snap)
+}
+
+/// `SH:p`: whether `p` is shallow w.r.t. the depth bound `bound`.
+pub fn is_shallow(snap: &DinerSnapshot<'_>, p: ProcessId, bound: u32) -> bool {
+    if snap.is_dead(p) {
+        return true;
+    }
+    let me = snap.state.local(p);
+    if me.depth > bound {
+        return false;
+    }
+    let l = live_ancestor_chain(snap, p);
+    direct_descendants(snap, p).into_iter().all(|q| {
+        let dq = snap.state.local(q).depth;
+        let first = match l {
+            Some(l) => dq.saturating_add(l) <= bound,
+            None => false, // unbounded live ancestor chain
+        };
+        first || dq.saturating_add(1) <= me.depth
+    })
+}
+
+/// Whether `p` is *stably* shallow: shallow, and either dead or all of its
+/// live (non-dead) descendants are shallow.
+pub fn is_stably_shallow(snap: &DinerSnapshot<'_>, p: ProcessId, bound: u32) -> bool {
+    if !is_shallow(snap, p, bound) {
+        return false;
+    }
+    if snap.is_dead(p) {
+        return true;
+    }
+    transitive_descendants(snap, p)
+        .into_iter()
+        .filter(|&q| !snap.is_dead(q))
+        .all(|q| is_shallow(snap, q, bound))
+}
+
+/// Whether each process is shallow, computed for all processes in one
+/// pass (one shared `l` memoization instead of per-process recursion).
+pub fn shallow_all(snap: &DinerSnapshot<'_>, bound: u32) -> Vec<bool> {
+    let chains = crate::roles::live_ancestor_chains(snap);
+    snap.topo
+        .processes()
+        .map(|p| {
+            if snap.is_dead(p) {
+                return true;
+            }
+            let me = snap.state.local(p);
+            if me.depth > bound {
+                return false;
+            }
+            let l = chains[p.index()];
+            direct_descendants(snap, p).into_iter().all(|q| {
+                let dq = snap.state.local(q).depth;
+                let first = match l {
+                    Some(l) => dq.saturating_add(l) <= bound,
+                    None => false,
+                };
+                first || dq.saturating_add(1) <= me.depth
+            })
+        })
+        .collect()
+}
+
+/// `ST`: all processes are stably shallow.
+///
+/// Bulk form: a live process fails stable shallowness iff it is not
+/// shallow itself or some live process reachable from it (a descendant)
+/// is not shallow; we propagate the "deep descendant" taint backwards
+/// (descendant → ancestor) from every live non-shallow process, in
+/// `O(n + m)` instead of per-process transitive closures.
+pub fn st_holds(snap: &DinerSnapshot<'_>, bound: u32) -> bool {
+    let shallow = shallow_all(snap, bound);
+    // Any live non-shallow process falsifies ST directly.
+    for p in snap.topo.processes() {
+        if !snap.is_dead(p) && !shallow[p.index()] {
+            return false;
+        }
+    }
+    // All live processes are shallow; dead ones are trivially stably
+    // shallow, and a live process's live descendants are all shallow by
+    // the check above — so ST holds. (The taint propagation only matters
+    // for per-process queries; for the global conjunction, "every live
+    // process is shallow" is exactly equivalent.)
+    true
+}
+
+/// `E`: two neighbors are eating in the same state only if both are dead.
+pub fn e_holds(snap: &DinerSnapshot<'_>) -> bool {
+    snap.topo.edges().iter().all(|&(a, b)| {
+        let both_eating = snap.state.local(a).phase == Phase::Eating
+            && snap.state.local(b).phase == Phase::Eating;
+        !both_eating || (snap.is_dead(a) && snap.is_dead(b))
+    })
+}
+
+/// The invariant `I = NC ∧ ST ∧ E` (Theorem 1: the program stabilizes
+/// to `I`).
+pub fn invariant_holds(snap: &DinerSnapshot<'_>, bound: u32) -> bool {
+    nc_holds(snap) && st_holds(snap, bound) && e_holds(snap)
+}
+
+/// Corollary 1's consequence: every non-dead process has
+/// `depth:p <= bound`.
+pub fn depth_bounded(snap: &DinerSnapshot<'_>, bound: u32) -> bool {
+    snap.topo
+        .processes()
+        .filter(|&p| !snap.is_dead(p))
+        .all(|p| snap.state.local(p).depth <= bound)
+}
+
+/// [`StatePredicate`] form of `NC` (Lemma 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoLiveCycles;
+
+impl StatePredicate<MaliciousCrashDiners> for NoLiveCycles {
+    fn name(&self) -> String {
+        "NC".into()
+    }
+    fn holds(&self, snap: &DinerSnapshot<'_>) -> bool {
+        nc_holds(snap)
+    }
+}
+
+/// [`StatePredicate`] form of `E` (Lemma 4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExclusionAmongLive;
+
+impl StatePredicate<MaliciousCrashDiners> for ExclusionAmongLive {
+    fn name(&self) -> String {
+        "E".into()
+    }
+    fn holds(&self, snap: &DinerSnapshot<'_>) -> bool {
+        e_holds(snap)
+    }
+}
+
+/// [`StatePredicate`] form of `ST` (Lemma 3), parameterized by the
+/// cycle-evidence bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllStablyShallow {
+    /// The depth bound; must match the algorithm variant under test.
+    pub bound: DepthBound,
+}
+
+impl StatePredicate<MaliciousCrashDiners> for AllStablyShallow {
+    fn name(&self) -> String {
+        "ST".into()
+    }
+    fn holds(&self, snap: &DinerSnapshot<'_>) -> bool {
+        st_holds(snap, self.bound.effective(snap.topo))
+    }
+}
+
+/// [`StatePredicate`] form of the invariant `I = NC ∧ ST ∧ E`
+/// (Theorem 1), parameterized by the cycle-evidence bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Invariant {
+    /// The depth bound; must match the algorithm variant under test.
+    pub bound: DepthBound,
+}
+
+impl Invariant {
+    /// The invariant matching an algorithm variant's depth bound.
+    pub fn for_algorithm(alg: &MaliciousCrashDiners) -> Self {
+        Invariant {
+            bound: alg.variant().depth_bound,
+        }
+    }
+}
+
+impl StatePredicate<MaliciousCrashDiners> for Invariant {
+    fn name(&self) -> String {
+        "I".into()
+    }
+    fn holds(&self, snap: &DinerSnapshot<'_>) -> bool {
+        invariant_holds(snap, self.bound.effective(snap.topo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diners_sim::algorithm::SystemState;
+    use diners_sim::fault::Health;
+    use diners_sim::graph::Topology;
+    use diners_sim::predicate::Snapshot;
+
+    use crate::state::PriorityVar;
+
+    type State = SystemState<MaliciousCrashDiners>;
+
+    fn alg() -> MaliciousCrashDiners {
+        MaliciousCrashDiners::paper()
+    }
+
+    fn orient(t: &Topology, s: &mut State, from: usize, to: usize) {
+        let e = t
+            .edge_between(ProcessId(from), ProcessId(to))
+            .expect("edge exists");
+        *s.edge_mut(e) = PriorityVar::ancestor_is(ProcessId(from));
+    }
+
+    fn d(t: &Topology) -> u32 {
+        t.diameter()
+    }
+
+    #[test]
+    fn initial_state_satisfies_nc_and_e_everywhere() {
+        for t in [
+            Topology::line(5),
+            Topology::ring(6),
+            Topology::grid(3, 3),
+            Topology::star(5),
+            Topology::complete(4),
+        ] {
+            let s = State::initial(&alg(), &t);
+            let h = vec![Health::Live; t.len()];
+            let snap = Snapshot::new(&t, &s, &h);
+            assert!(nc_holds(&snap), "{}: NC", t.name());
+            assert!(e_holds(&snap), "{}: E", t.name());
+            assert!(depth_bounded(&snap, 0), "{}: all depths zero", t.name());
+        }
+    }
+
+    #[test]
+    fn initial_state_satisfies_full_invariant_when_chains_are_short() {
+        // ST additionally requires that no descendant's depth could be
+        // pumped past the bound along a live ancestor chain. With the
+        // lo->hi initial orientation this holds when the longest priority
+        // chain fits in the bound (line, star) ...
+        for t in [Topology::line(5), Topology::star(5)] {
+            let s = State::initial(&alg(), &t);
+            let h = vec![Health::Live; t.len()];
+            let snap = Snapshot::new(&t, &s, &h);
+            assert!(invariant_holds(&snap, d(&t)), "{}: I", t.name());
+        }
+        // ... but NOT on a ring under the paper's diameter bound, whose
+        // initial 0->1->...->5 chain (5 hops) exceeds D = 3: distant
+        // processes are deep and the program must *stabilize* to ST.
+        let t = Topology::ring(6);
+        let s = State::initial(&alg(), &t);
+        let h = vec![Health::Live; t.len()];
+        let snap = Snapshot::new(&t, &s, &h);
+        assert!(!st_holds(&snap, d(&t)), "ring(6): long initial chain is deep");
+        // Under the corrected n bound the same state is fine.
+        assert!(st_holds(&snap, 6), "ring(6): corrected bound accepts it");
+    }
+
+    #[test]
+    fn live_cycle_violates_nc() {
+        let t = Topology::ring(3);
+        let mut s = State::initial(&alg(), &t);
+        orient(&t, &mut s, 0, 1);
+        orient(&t, &mut s, 1, 2);
+        orient(&t, &mut s, 2, 0);
+        let h = vec![Health::Live; 3];
+        let snap = Snapshot::new(&t, &s, &h);
+        assert!(!nc_holds(&snap));
+        assert!(!invariant_holds(&snap, d(&t)));
+        assert!(!NoLiveCycles.holds(&snap));
+    }
+
+    #[test]
+    fn excess_depth_violates_shallow() {
+        let t = Topology::line(3);
+        let mut s = State::initial(&alg(), &t);
+        s.local_mut(ProcessId(1)).depth = d(&t) + 1;
+        let h = vec![Health::Live; 3];
+        let snap = Snapshot::new(&t, &s, &h);
+        assert!(!is_shallow(&snap, ProcessId(1), d(&t)));
+        assert!(!st_holds(&snap, d(&t)));
+        assert!(!AllStablyShallow::default().holds(&snap));
+    }
+
+    #[test]
+    fn deep_descendant_makes_ancestor_unstable() {
+        // Line 0 -> 1 -> 2 (D = 2). Give descendant 2 a depth that, when
+        // propagated up the live ancestor chain, would exceed D.
+        let t = Topology::line(3);
+        let mut s = State::initial(&alg(), &t);
+        s.local_mut(ProcessId(2)).depth = 2;
+        let h = vec![Health::Live; 3];
+        let snap = Snapshot::new(&t, &s, &h);
+        // For p1: l = 2, depth.q = 2 => 2 + 2 > 2 and 2 + 1 > depth.p = 0.
+        assert!(!is_shallow(&snap, ProcessId(1), 2));
+        // p0 is shallow itself (its descendant p1 has depth 0)...
+        assert!(is_shallow(&snap, ProcessId(0), 2));
+        // ...but not *stably*: its descendant p1 is not shallow.
+        assert!(!is_stably_shallow(&snap, ProcessId(0), 2));
+        assert!(!st_holds(&snap, 2));
+    }
+
+    #[test]
+    fn dead_process_is_trivially_stably_shallow() {
+        let t = Topology::line(2);
+        let mut s = State::initial(&alg(), &t);
+        s.local_mut(ProcessId(0)).depth = 99;
+        let mut h = vec![Health::Live; 2];
+        h[0] = Health::Dead;
+        let snap = Snapshot::new(&t, &s, &h);
+        assert!(is_shallow(&snap, ProcessId(0), 1));
+        assert!(is_stably_shallow(&snap, ProcessId(0), 1));
+    }
+
+    #[test]
+    fn eating_neighbors_violate_e_unless_both_dead() {
+        let t = Topology::line(2);
+        let mut s = State::initial(&alg(), &t);
+        s.local_mut(ProcessId(0)).phase = Phase::Eating;
+        s.local_mut(ProcessId(1)).phase = Phase::Eating;
+        let live = vec![Health::Live; 2];
+        let snap = Snapshot::new(&t, &s, &live);
+        assert!(!e_holds(&snap));
+        assert!(!ExclusionAmongLive.holds(&snap));
+
+        let dead = vec![Health::Dead; 2];
+        let snap = Snapshot::new(&t, &s, &dead);
+        assert!(e_holds(&snap), "both dead: E permits the pair");
+
+        let mut mixed = vec![Health::Live; 2];
+        mixed[0] = Health::Dead;
+        let snap = Snapshot::new(&t, &s, &mixed);
+        assert!(!e_holds(&snap), "one live eater still violates E");
+    }
+
+    #[test]
+    fn unbounded_ancestor_chain_blocks_shallowness() {
+        // Ring cycle 0 -> 1 -> 2 -> 0 with depths all zero: every process
+        // has l = infinity, and each has a descendant, so the first
+        // disjunct fails; second disjunct (depth.q + 1 <= depth.p) fails
+        // at depth 0. Nobody on the cycle is shallow, under either bound.
+        let t = Topology::ring(3);
+        let mut s = State::initial(&alg(), &t);
+        orient(&t, &mut s, 0, 1);
+        orient(&t, &mut s, 1, 2);
+        orient(&t, &mut s, 2, 0);
+        let h = vec![Health::Live; 3];
+        let snap = Snapshot::new(&t, &s, &h);
+        for p in t.processes() {
+            assert!(!is_shallow(&snap, p, d(&t)), "{p} on a live cycle is deep");
+            assert!(!is_shallow(&snap, p, 2), "{p} deep under large bound too");
+        }
+    }
+
+    #[test]
+    fn invariant_predicate_matches_function_and_bounds_differ() {
+        let t = Topology::complete(4);
+        let s = State::initial(&alg(), &t);
+        let h = vec![Health::Live; 4];
+        let snap = Snapshot::new(&t, &s, &h);
+        // The paper's diameter bound rejects the complete graph's initial
+        // chain 0->1->2->3 (l = 4 > D = 1) ...
+        assert!(!Invariant::default().holds(&snap));
+        // ... while the corrected n bound accepts it.
+        let corrected = Invariant {
+            bound: DepthBound::LongestPath,
+        };
+        assert!(corrected.holds(&snap));
+        assert_eq!(
+            Invariant::for_algorithm(&MaliciousCrashDiners::corrected()),
+            corrected
+        );
+        assert_eq!(Invariant::default().name(), "I");
+    }
+
+    #[test]
+    fn bulk_st_matches_per_process_definition() {
+        // Over random corrupted states and dead sets, the O(n+m) bulk
+        // form agrees with the literal per-process definition.
+        use rand::Rng;
+        let t = Topology::grid(3, 3);
+        let a = alg();
+        let mut rng = diners_sim::rng::rng(41);
+        for _ in 0..100 {
+            let mut s = State::initial(&a, &t);
+            s.corrupt_all(&a, &t, &mut rng);
+            let mut h = vec![Health::Live; t.len()];
+            for _ in 0..rng.gen_range(0..3) {
+                h[rng.gen_range(0..t.len())] = Health::Dead;
+            }
+            let snap = Snapshot::new(&t, &s, &h);
+            for bound in [t.diameter(), t.len() as u32] {
+                let per_process = t
+                    .processes()
+                    .all(|p| is_stably_shallow(&snap, p, bound));
+                assert_eq!(
+                    st_holds(&snap, bound),
+                    per_process,
+                    "bulk and per-process ST disagree"
+                );
+                let shallow = shallow_all(&snap, bound);
+                for p in t.processes() {
+                    assert_eq!(shallow[p.index()], is_shallow(&snap, p, bound));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_bounded_ignores_dead() {
+        let t = Topology::line(2);
+        let mut s = State::initial(&alg(), &t);
+        s.local_mut(ProcessId(0)).depth = 50;
+        let mut h = vec![Health::Live; 2];
+        h[0] = Health::Dead;
+        let snap = Snapshot::new(&t, &s, &h);
+        assert!(depth_bounded(&snap, 1));
+    }
+}

@@ -1,0 +1,317 @@
+//! Priority-graph structure queries used by the paper's predicates.
+//!
+//! The shared `priority` variables orient every edge of the conflict graph,
+//! forming the *priority graph*. This module computes, over a global
+//! [`Snapshot`]: direct/transitive ancestors and descendants, live-cycle
+//! detection (`NC`), and `l:p` — the length of the longest chain of live
+//! ancestors of `p` including `p` itself (infinite when a live priority
+//! cycle feeds into `p`).
+
+use diners_sim::graph::ProcessId;
+use diners_sim::predicate::Snapshot;
+
+use crate::algorithm::MaliciousCrashDiners;
+
+/// Snapshot type specialized to the paper's algorithm (including its
+/// ablated variants, which share the same state types).
+pub type DinerSnapshot<'a> = Snapshot<'a, MaliciousCrashDiners>;
+
+/// Direct ancestors of `p`: neighbors `q` with `priority:p:q = q`.
+pub fn direct_ancestors(snap: &DinerSnapshot<'_>, p: ProcessId) -> Vec<ProcessId> {
+    snap.topo
+        .neighbors(p)
+        .iter()
+        .copied()
+        .filter(|&q| {
+            let e = snap.topo.edge_between(p, q).expect("neighbor edge");
+            snap.state.edge(e).ancestor == q
+        })
+        .collect()
+}
+
+/// Direct descendants of `p`: neighbors `q` with `priority:p:q = p`.
+pub fn direct_descendants(snap: &DinerSnapshot<'_>, p: ProcessId) -> Vec<ProcessId> {
+    snap.topo
+        .neighbors(p)
+        .iter()
+        .copied()
+        .filter(|&q| {
+            let e = snap.topo.edge_between(p, q).expect("neighbor edge");
+            snap.state.edge(e).ancestor == p
+        })
+        .collect()
+}
+
+/// All processes reachable from `p` in the priority graph (the paper's
+/// *descendants* of `p`), excluding `p` itself unless it lies on a cycle
+/// through `p`.
+pub fn transitive_descendants(snap: &DinerSnapshot<'_>, p: ProcessId) -> Vec<ProcessId> {
+    let n = snap.topo.len();
+    let mut seen = vec![false; n];
+    let mut stack = direct_descendants(snap, p);
+    let mut out = Vec::new();
+    while let Some(q) = stack.pop() {
+        if seen[q.index()] {
+            continue;
+        }
+        seen[q.index()] = true;
+        out.push(q);
+        stack.extend(direct_descendants(snap, q));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Whether the priority graph restricted to non-dead processes contains a
+/// cycle — the negation of the paper's predicate `NC` ("if the priority
+/// graph contains a cycle, at least one process in the cycle is dead").
+pub fn live_cycle_exists(snap: &DinerSnapshot<'_>) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = snap.topo.len();
+    let mut color = vec![Color::White; n];
+
+    // Iterative DFS with an explicit stack (child iterator index).
+    for start in snap.topo.processes() {
+        if snap.is_dead(start) || color[start.index()] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(ProcessId, Vec<ProcessId>, usize)> = Vec::new();
+        color[start.index()] = Color::Gray;
+        let kids: Vec<ProcessId> = direct_descendants(snap, start)
+            .into_iter()
+            .filter(|&q| !snap.is_dead(q))
+            .collect();
+        stack.push((start, kids, 0));
+        while let Some((node, kids, idx)) = stack.last_mut() {
+            if *idx < kids.len() {
+                let next = kids[*idx];
+                *idx += 1;
+                match color[next.index()] {
+                    Color::Gray => return true,
+                    Color::White => {
+                        color[next.index()] = Color::Gray;
+                        let nk: Vec<ProcessId> = direct_descendants(snap, next)
+                            .into_iter()
+                            .filter(|&q| !snap.is_dead(q))
+                            .collect();
+                        stack.push((next, nk, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node.index()] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// The paper's `l:p`: the length of the longest chain of live ancestors of
+/// `p`, including `p` itself. Returns `None` when the chain is unbounded
+/// (a cycle of non-dead processes feeds into `p`) and for dead `p`.
+///
+/// Only non-dead processes participate in chains.
+pub fn live_ancestor_chain(snap: &DinerSnapshot<'_>, p: ProcessId) -> Option<u32> {
+    if snap.is_dead(p) {
+        return None;
+    }
+    let n = snap.topo.len();
+    // memo: None = unvisited; Some(None) = infinite; Some(Some(l)) = l.
+    let mut memo: Vec<Option<Option<u32>>> = vec![None; n];
+    let mut on_stack = vec![false; n];
+    chain_rec(snap, p, &mut memo, &mut on_stack)
+}
+
+/// `l:p` for every process in one pass (shared memoization); entry `p`
+/// is `None` for dead processes and for unbounded chains.
+pub fn live_ancestor_chains(snap: &DinerSnapshot<'_>) -> Vec<Option<u32>> {
+    let n = snap.topo.len();
+    let mut memo: Vec<Option<Option<u32>>> = vec![None; n];
+    let mut on_stack = vec![false; n];
+    snap.topo
+        .processes()
+        .map(|p| {
+            if snap.is_dead(p) {
+                None
+            } else {
+                chain_rec(snap, p, &mut memo, &mut on_stack)
+            }
+        })
+        .collect()
+}
+
+fn chain_rec(
+    snap: &DinerSnapshot<'_>,
+    p: ProcessId,
+    memo: &mut Vec<Option<Option<u32>>>,
+    on_stack: &mut Vec<bool>,
+) -> Option<u32> {
+    if let Some(v) = memo[p.index()] {
+        return v;
+    }
+    if on_stack[p.index()] {
+        // Cycle among non-dead processes: unbounded chain.
+        return None;
+    }
+    on_stack[p.index()] = true;
+    let mut best: Option<u32> = Some(1);
+    for q in direct_ancestors(snap, p) {
+        if snap.is_dead(q) {
+            continue;
+        }
+        match chain_rec(snap, q, memo, on_stack) {
+            None => {
+                best = None;
+                break;
+            }
+            Some(l) => {
+                if let Some(b) = best {
+                    best = Some(b.max(l + 1));
+                }
+            }
+        }
+    }
+    on_stack[p.index()] = false;
+    // Do not memoize results discovered while a cycle was on the stack
+    // conservatively: memoizing None is sound (the cycle is real), and
+    // finite results computed here are exact because DFS explored all
+    // ancestors.
+    memo[p.index()] = Some(best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diners_sim::algorithm::SystemState;
+    use diners_sim::fault::Health;
+    use diners_sim::graph::Topology;
+
+    use crate::algorithm::MaliciousCrashDiners;
+    use crate::state::PriorityVar;
+
+    type State = SystemState<MaliciousCrashDiners>;
+
+    fn alg() -> MaliciousCrashDiners {
+        MaliciousCrashDiners::paper()
+    }
+
+    fn orient(t: &Topology, s: &mut State, from: usize, to: usize) {
+        let e = t
+            .edge_between(ProcessId(from), ProcessId(to))
+            .expect("edge exists");
+        *s.edge_mut(e) = PriorityVar::ancestor_is(ProcessId(from));
+    }
+
+    #[test]
+    fn direct_roles_on_a_line() {
+        let t = Topology::line(3);
+        let s = State::initial(&alg(), &t);
+        let h = vec![Health::Live; 3];
+        let snap = Snapshot::new(&t, &s, &h);
+        // Initial orientation: 0 -> 1 -> 2.
+        assert_eq!(direct_ancestors(&snap, ProcessId(1)), vec![ProcessId(0)]);
+        assert_eq!(direct_descendants(&snap, ProcessId(1)), vec![ProcessId(2)]);
+        assert_eq!(direct_ancestors(&snap, ProcessId(0)), vec![]);
+        assert_eq!(
+            transitive_descendants(&snap, ProcessId(0)),
+            vec![ProcessId(1), ProcessId(2)]
+        );
+    }
+
+    #[test]
+    fn initial_graph_is_acyclic() {
+        for t in [Topology::ring(6), Topology::grid(3, 3), Topology::complete(5)] {
+            let s = State::initial(&alg(), &t);
+            let h = vec![Health::Live; t.len()];
+            let snap = Snapshot::new(&t, &s, &h);
+            assert!(!live_cycle_exists(&snap), "initial state must be acyclic");
+        }
+    }
+
+    #[test]
+    fn oriented_ring_cycle_is_detected() {
+        let t = Topology::ring(4);
+        let mut s = State::initial(&alg(), &t);
+        for i in 0..4 {
+            orient(&t, &mut s, i, (i + 1) % 4);
+        }
+        let h = vec![Health::Live; 4];
+        let snap = Snapshot::new(&t, &s, &h);
+        assert!(live_cycle_exists(&snap));
+    }
+
+    #[test]
+    fn cycle_through_dead_process_is_tolerated() {
+        let t = Topology::ring(4);
+        let mut s = State::initial(&alg(), &t);
+        for i in 0..4 {
+            orient(&t, &mut s, i, (i + 1) % 4);
+        }
+        let mut h = vec![Health::Live; 4];
+        h[2] = Health::Dead;
+        let snap = Snapshot::new(&t, &s, &h);
+        assert!(
+            !live_cycle_exists(&snap),
+            "NC permits cycles containing a dead process"
+        );
+    }
+
+    #[test]
+    fn ancestor_chain_lengths_on_a_line() {
+        let t = Topology::line(4); // 0 -> 1 -> 2 -> 3
+        let s = State::initial(&alg(), &t);
+        let h = vec![Health::Live; 4];
+        let snap = Snapshot::new(&t, &s, &h);
+        assert_eq!(live_ancestor_chain(&snap, ProcessId(0)), Some(1));
+        assert_eq!(live_ancestor_chain(&snap, ProcessId(1)), Some(2));
+        assert_eq!(live_ancestor_chain(&snap, ProcessId(3)), Some(4));
+    }
+
+    #[test]
+    fn dead_ancestor_truncates_chain() {
+        let t = Topology::line(4);
+        let s = State::initial(&alg(), &t);
+        let mut h = vec![Health::Live; 4];
+        h[1] = Health::Dead;
+        let snap = Snapshot::new(&t, &s, &h);
+        assert_eq!(live_ancestor_chain(&snap, ProcessId(3)), Some(2));
+        assert_eq!(live_ancestor_chain(&snap, ProcessId(1)), None, "dead p");
+    }
+
+    #[test]
+    fn cycle_makes_chain_unbounded() {
+        let t = Topology::ring(3);
+        let mut s = State::initial(&alg(), &t);
+        orient(&t, &mut s, 0, 1);
+        orient(&t, &mut s, 1, 2);
+        orient(&t, &mut s, 2, 0);
+        let h = vec![Health::Live; 3];
+        let snap = Snapshot::new(&t, &s, &h);
+        for p in t.processes() {
+            assert_eq!(live_ancestor_chain(&snap, p), None);
+        }
+    }
+
+    #[test]
+    fn diamond_chain_takes_the_longest_path() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3, plus 1 -> 2: longest chain to 3 is
+        // 0,1,2,3 (length 4).
+        let t = Topology::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)]).unwrap();
+        let mut s = State::initial(&alg(), &t);
+        orient(&t, &mut s, 0, 1);
+        orient(&t, &mut s, 0, 2);
+        orient(&t, &mut s, 1, 3);
+        orient(&t, &mut s, 2, 3);
+        orient(&t, &mut s, 1, 2);
+        let h = vec![Health::Live; 4];
+        let snap = Snapshot::new(&t, &s, &h);
+        assert_eq!(live_ancestor_chain(&snap, ProcessId(3)), Some(4));
+    }
+}

@@ -1,0 +1,123 @@
+//! Variable types of the paper's program (Figure 1).
+//!
+//! Each process `p` owns `state:p ∈ {T,H,E}` and `depth:p` (an integer
+//! tracking the distance to `p`'s farthest descendant, used to break
+//! priority cycles). Each pair of neighbors `p`, `q` shares one variable
+//! `priority:p:q` holding the identifier of either `p` or `q`; if
+//! `priority:p:q = q` the edge is directed *towards* `p` — `q` is a direct
+//! **ancestor** of `p` (and `p` a direct **descendant** of `q`). A process
+//! may only update the shared variable *in a restricted manner*: it can set
+//! it to its neighbor's id (yield priority), never to its own.
+
+use std::fmt;
+
+use diners_sim::graph::ProcessId;
+use diners_sim::Phase;
+
+/// Local state of one process: `state:p` and `depth:p`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DinerLocal {
+    /// The paper's `state:p` — thinking, hungry or eating.
+    pub phase: Phase,
+    /// The paper's `depth:p` — distance to the farthest descendant, used
+    /// for cycle detection. Unbounded in the paper; saturating `u32` here.
+    pub depth: u32,
+}
+
+impl DinerLocal {
+    /// The legitimate initial local state: thinking with depth 0.
+    pub fn initial() -> Self {
+        DinerLocal {
+            phase: Phase::Thinking,
+            depth: 0,
+        }
+    }
+
+    /// A local state with the given phase and depth 0.
+    pub fn with_phase(phase: Phase) -> Self {
+        DinerLocal { phase, depth: 0 }
+    }
+}
+
+impl Default for DinerLocal {
+    fn default() -> Self {
+        Self::initial()
+    }
+}
+
+impl fmt::Display for DinerLocal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/d{}", self.phase, self.depth)
+    }
+}
+
+/// The shared per-edge variable `priority:p:q`.
+///
+/// Stores the id of the edge's *ancestor* endpoint: the edge is directed
+/// away from [`PriorityVar::ancestor`] toward the other endpoint, which is
+/// its descendant. The domain of the variable is the two endpoints of the
+/// edge (the paper: "this variable holds the identifier of either p or
+/// q"); transient corruption stays within that domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PriorityVar {
+    /// The endpoint with the higher priority (the edge points away from
+    /// it, toward its descendant).
+    pub ancestor: ProcessId,
+}
+
+impl PriorityVar {
+    /// An edge whose ancestor endpoint is `p`.
+    pub fn ancestor_is(p: ProcessId) -> Self {
+        PriorityVar { ancestor: p }
+    }
+
+    /// Whether `q` is the ancestor endpoint of this edge.
+    #[inline]
+    pub fn points_from(&self, q: ProcessId) -> bool {
+        self.ancestor == q
+    }
+}
+
+impl fmt::Display for PriorityVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<-{}", self.ancestor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_local_is_thinking_depth_zero() {
+        let l = DinerLocal::initial();
+        assert_eq!(l.phase, Phase::Thinking);
+        assert_eq!(l.depth, 0);
+        assert_eq!(l, DinerLocal::default());
+    }
+
+    #[test]
+    fn with_phase_sets_phase() {
+        let l = DinerLocal::with_phase(Phase::Eating);
+        assert_eq!(l.phase, Phase::Eating);
+        assert_eq!(l.depth, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = DinerLocal {
+            phase: Phase::Hungry,
+            depth: 3,
+        };
+        assert_eq!(l.to_string(), "H/d3");
+        let v = PriorityVar::ancestor_is(ProcessId(2));
+        assert_eq!(v.to_string(), "<-p2");
+    }
+
+    #[test]
+    fn priority_direction() {
+        let v = PriorityVar::ancestor_is(ProcessId(1));
+        assert!(v.points_from(ProcessId(1)));
+        assert!(!v.points_from(ProcessId(0)));
+    }
+}

@@ -1,0 +1,202 @@
+//! Two-party stabilizing handshake, after Dijkstra's K-state protocol.
+//!
+//! The paper's §4 proposes transforming the shared-memory program to
+//! message passing with "a stabilizing handshake mechanism based on
+//! Dijkstra's K-state token circulation protocol to provide
+//! synchronization between neighbors". This module is that primitive for
+//! a single link: the two endpoints alternate strictly (ping-pong), and
+//! the alternation re-establishes itself from *arbitrary* counter values
+//! and message losses, provided each side retransmits its current counter
+//! when prodded.
+//!
+//! Protocol (counters mod [`K`]):
+//!
+//! * the **master** (lower endpoint id) *accepts* an incoming counter
+//!   equal to its own, then advances its counter;
+//! * the **slave** accepts an incoming counter different from its own,
+//!   then adopts it;
+//! * each side's outgoing messages always carry its current counter.
+//!
+//! Exactly one side accepts any given counter value, so each accepted
+//! message is processed exactly once even under duplication — this is
+//! what makes piggybacked token transfers (forks) exactly-once.
+
+/// Modulus of the handshake counters.
+pub const K: u8 = 8;
+
+/// Which end of the link this endpoint is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Lower endpoint id: advances the counter.
+    Master,
+    /// Higher endpoint id: copies the counter.
+    Slave,
+}
+
+/// One endpoint's handshake state for one link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Handshake {
+    role: Role,
+    k: u8,
+}
+
+impl Handshake {
+    /// The legitimate initial state: master at 1, slave at 0, so the
+    /// master's first (re)transmission is immediately accepted.
+    pub fn new(role: Role) -> Self {
+        let k = match role {
+            Role::Master => 1,
+            Role::Slave => 0,
+        };
+        Handshake { role, k }
+    }
+
+    /// An arbitrary-state constructor for stabilization tests.
+    pub fn with_counter(role: Role, k: u8) -> Self {
+        Handshake { role, k: k % K }
+    }
+
+    /// This endpoint's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The counter to stamp on outgoing messages.
+    pub fn counter(&self) -> u8 {
+        self.k
+    }
+
+    /// Whether an incoming message with counter `ik` should be accepted
+    /// (processed); duplicates and stale retransmissions are rejected.
+    pub fn accepts(&self, ik: u8) -> bool {
+        match self.role {
+            Role::Master => ik % K == self.k,
+            Role::Slave => ik % K != self.k,
+        }
+    }
+
+    /// Accept an incoming counter: advance (master) or adopt (slave).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `accepts(ik)` is false.
+    pub fn accept(&mut self, ik: u8) {
+        debug_assert!(self.accepts(ik), "accept called on a rejected counter");
+        self.k = match self.role {
+            Role::Master => (self.k + 1) % K,
+            Role::Slave => ik % K,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive both ends in lockstep and count accepted exchanges.
+    fn rounds(mut m: Handshake, mut s: Handshake, steps: usize) -> usize {
+        let mut accepted = 0;
+        // The "wire": last value each side sent (retransmitted forever).
+        for _ in 0..steps {
+            // Slave hears master's current counter.
+            if s.accepts(m.counter()) {
+                s.accept(m.counter());
+                accepted += 1;
+            }
+            // Master hears slave's current counter.
+            if m.accepts(s.counter()) {
+                m.accept(s.counter());
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    #[test]
+    fn legitimate_start_alternates_forever() {
+        let m = Handshake::new(Role::Master);
+        let s = Handshake::new(Role::Slave);
+        // Every round yields two accepted messages once synchronized.
+        let accepted = rounds(m, s, 100);
+        assert!(accepted >= 199, "accepted only {accepted} of ~200");
+    }
+
+    #[test]
+    fn stabilizes_from_every_counter_pair() {
+        for mk in 0..K {
+            for sk in 0..K {
+                let m = Handshake::with_counter(Role::Master, mk);
+                let s = Handshake::with_counter(Role::Slave, sk);
+                let tail = {
+                    // Burn 4 rounds, then require sustained alternation.
+                    let mut m = m;
+                    let mut s = s;
+                    let _ = {
+                        let mut acc = 0;
+                        for _ in 0..4 {
+                            if s.accepts(m.counter()) {
+                                s.accept(m.counter());
+                                acc += 1;
+                            }
+                            if m.accepts(s.counter()) {
+                                m.accept(s.counter());
+                                acc += 1;
+                            }
+                        }
+                        acc
+                    };
+                    rounds(m, s, 50)
+                };
+                assert!(
+                    tail >= 99,
+                    "({mk},{sk}): only {tail} accepted after settling"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_side_accepts_any_value() {
+        for mk in 0..K {
+            for v in 0..K {
+                let m = Handshake::with_counter(Role::Master, mk);
+                let s = Handshake::with_counter(Role::Slave, mk);
+                assert_ne!(
+                    m.accepts(v),
+                    s.accepts(v),
+                    "master@{mk} and slave@{mk} must disagree on {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut m = Handshake::new(Role::Master);
+        let mut s = Handshake::new(Role::Slave);
+        let v = m.counter();
+        assert!(s.accepts(v));
+        s.accept(v);
+        assert!(!s.accepts(v), "slave must reject the duplicate");
+        let echo = s.counter();
+        assert!(m.accepts(echo));
+        m.accept(echo);
+        assert!(!m.accepts(echo), "master must reject the duplicate");
+    }
+
+    #[test]
+    fn counters_stay_in_range() {
+        let mut m = Handshake::new(Role::Master);
+        let mut s = Handshake::new(Role::Slave);
+        for _ in 0..1000 {
+            if s.accepts(m.counter()) {
+                s.accept(m.counter());
+            }
+            if m.accepts(s.counter()) {
+                m.accept(s.counter());
+            }
+            assert!(m.counter() < K);
+            assert!(s.counter() < K);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Message-passing transformation of the malicious-crash diners
+//! algorithm (paper §4).
+//!
+//! The shared-memory program of `diners-core` assumes a process can read
+//! its neighbors' variables atomically. This crate realizes the paper's
+//! §4 sketch for message passing:
+//!
+//! * [`kstate`] — a two-party stabilizing handshake after Dijkstra's
+//!   K-state protocol, providing per-link alternation and exactly-once
+//!   processing from arbitrary counter states;
+//! * [`node`] — the diner node state machine: Chandy–Misra fork tokens
+//!   for the exclusion core (the paper's first suggested transformation
+//!   route), scheduled by the paper's own priority / dynamic-threshold /
+//!   depth logic over cached neighbor state;
+//! * [`simnet`] — a deterministic simulated network with the full fault
+//!   vocabulary (benign/malicious crash, transient corruption, arbitrary
+//!   initial states);
+//! * [`runtime`] — a real thread-per-node runtime over crossbeam
+//!   channels, running the *same* node logic.
+//!
+//! The guarantees here are the message-passing analogues of the paper's:
+//! exclusion and service recover *eventually* after transients and
+//! malicious crashes, and crash damage is contained by the dynamic
+//! threshold, while live neighbors never eat simultaneously in
+//! legitimate operation (fork tokens make exclusion structural).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kstate;
+pub mod message;
+pub mod node;
+pub mod runtime;
+pub mod simnet;
+
+pub use message::LinkMsg;
+pub use node::{Node, NodeConfig, NodeEvent};
+pub use runtime::ThreadRuntime;
+pub use simnet::SimNet;

@@ -1,0 +1,96 @@
+//! The wire format of the message-passing diner.
+//!
+//! One message type rides every link. Each message carries the handshake
+//! counter, the sender's full diner-relevant state for that link (phase,
+//! depth, priority replica with version), and the fork-protocol fields.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use diners_sim::graph::ProcessId;
+use diners_sim::Phase;
+
+use crate::kstate::K;
+
+/// A link message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkMsg {
+    /// Handshake counter (see [`crate::kstate`]).
+    pub k: u8,
+    /// Sender's current phase.
+    pub phase: Phase,
+    /// Sender's current depth.
+    pub depth: u32,
+    /// Sender's replica of the edge's priority variable (ancestor id).
+    /// The link master's replica is authoritative.
+    pub ancestor: ProcessId,
+    /// Version of the priority replica (bumped by the master on every
+    /// applied yield).
+    pub prio_ver: u32,
+    /// Slave→master: "apply my yield" (set the ancestor to you). The
+    /// model's restricted update rule lets a process only *yield* the
+    /// shared variable; the slave does so by asking the master to
+    /// serialize the write.
+    pub yield_req: bool,
+    /// Sender's fork claim *after* this message.
+    pub has_fork: bool,
+    /// The fork is transferred in this message.
+    pub fork_transfer: bool,
+    /// Sender wants the fork.
+    pub fork_request: bool,
+}
+
+impl LinkMsg {
+    /// An arbitrary message a maliciously crashing process might emit on
+    /// the link to `peer` (uniform over the message domain — including
+    /// fake fork transfers, which the fault model permits a faulty sender
+    /// to fabricate).
+    pub fn arbitrary(rng: &mut StdRng, me: ProcessId, peer: ProcessId) -> Self {
+        let phase = match rng.gen_range(0..3) {
+            0 => Phase::Thinking,
+            1 => Phase::Hungry,
+            _ => Phase::Eating,
+        };
+        LinkMsg {
+            k: rng.gen_range(0..K),
+            phase,
+            depth: rng.gen_range(0..64),
+            ancestor: if rng.gen_bool(0.5) { me } else { peer },
+            prio_ver: rng.gen_range(0..16),
+            yield_req: rng.gen_bool(0.5),
+            has_fork: rng.gen_bool(0.5),
+            fork_transfer: rng.gen_bool(0.25),
+            fork_request: rng.gen_bool(0.5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbitrary_messages_stay_in_domain() {
+        let mut r = diners_sim::rng::rng(5);
+        let me = ProcessId(0);
+        let peer = ProcessId(1);
+        for _ in 0..100 {
+            let m = LinkMsg::arbitrary(&mut r, me, peer);
+            assert!(m.k < K);
+            assert!(m.ancestor == me || m.ancestor == peer);
+            assert!(m.depth < 64);
+        }
+    }
+
+    #[test]
+    fn arbitrary_is_deterministic_per_seed() {
+        let mut a = diners_sim::rng::rng(9);
+        let mut b = diners_sim::rng::rng(9);
+        for _ in 0..10 {
+            assert_eq!(
+                LinkMsg::arbitrary(&mut a, ProcessId(0), ProcessId(1)),
+                LinkMsg::arbitrary(&mut b, ProcessId(0), ProcessId(1))
+            );
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! A real concurrent runtime: one OS thread per diner node, crossbeam
+//! channels as links.
+//!
+//! The node logic is exactly [`crate::node::Node`] — the same state
+//! machine the deterministic [`crate::simnet::SimNet`] drives — so this
+//! runtime demonstrates that the protocol's guarantees do not depend on
+//! the simulator's serialization. Each thread blocks on its channel with
+//! a small timeout; the timeout doubles as the node's tick (retransmit /
+//! finish meals). Every node publishes its phase and meal count through
+//! atomics so a monitor can sample global state without locks.
+//!
+//! Crashes are injected by control message: a benign crash makes the
+//! thread exit silently; a malicious crash makes it spew arbitrary
+//! messages for a bounded number of turns first.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use diners_sim::graph::{ProcessId, Topology};
+use diners_sim::rng;
+use diners_sim::Phase;
+
+use crate::message::LinkMsg;
+use crate::node::{Node, NodeConfig, NodeEvent};
+
+/// Messages on the control/data channels between threads.
+enum Wire {
+    /// A protocol message from a neighbor.
+    Data {
+        /// Sending node.
+        from: ProcessId,
+        /// Payload.
+        msg: LinkMsg,
+    },
+    /// Halt silently (benign crash).
+    Crash,
+    /// Behave arbitrarily for this many turns, then halt.
+    MaliciousCrash(u32),
+    /// Clean shutdown at the end of the run.
+    Shutdown,
+}
+
+fn phase_to_u8(p: Phase) -> u8 {
+    match p {
+        Phase::Thinking => 0,
+        Phase::Hungry => 1,
+        Phase::Eating => 2,
+    }
+}
+
+fn u8_to_phase(v: u8) -> Phase {
+    match v {
+        0 => Phase::Thinking,
+        1 => Phase::Hungry,
+        _ => Phase::Eating,
+    }
+}
+
+struct Shared {
+    phases: Vec<AtomicU8>,
+    meals: Vec<AtomicU64>,
+    dead: Vec<AtomicBool>,
+}
+
+/// A running fleet of diner threads.
+pub struct ThreadRuntime {
+    topo: Topology,
+    senders: Vec<Sender<Wire>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadRuntime {
+    /// Spawn one thread per process of `topo`, all in the legitimate
+    /// initial state. `tick` is the per-node retransmission timeout.
+    pub fn spawn(topo: Topology, tick: Duration, seed: u64) -> Self {
+        let n = topo.len();
+        let shared = Arc::new(Shared {
+            phases: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            meals: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        });
+        let channels: Vec<(Sender<Wire>, Receiver<Wire>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Wire>> = channels.iter().map(|(s, _)| s.clone()).collect();
+
+        let mut handles = Vec::new();
+        for p in topo.processes() {
+            let cfg = NodeConfig {
+                id: p,
+                neighbors: topo.neighbors(p).to_vec(),
+                diameter: topo.diameter(),
+            };
+            let rx = channels[p.index()].1.clone();
+            let peers: Vec<(ProcessId, Sender<Wire>)> = topo
+                .neighbors(p)
+                .iter()
+                .map(|&q| (q, senders[q.index()].clone()))
+                .collect();
+            let shared = Arc::clone(&shared);
+            let node_seed = rng::subseed(seed, p.index() as u64);
+            handles.push(std::thread::spawn(move || {
+                node_thread(cfg, rx, peers, shared, tick, node_seed);
+            }));
+        }
+        ThreadRuntime {
+            topo,
+            senders,
+            handles,
+            shared,
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Sampled phase of node `p`.
+    pub fn phase_of(&self, p: ProcessId) -> Phase {
+        u8_to_phase(self.shared.phases[p.index()].load(Ordering::SeqCst))
+    }
+
+    /// Sampled meal count of node `p`.
+    pub fn meals_of(&self, p: ProcessId) -> u64 {
+        self.shared.meals[p.index()].load(Ordering::SeqCst)
+    }
+
+    /// Whether node `p` has halted.
+    pub fn is_dead(&self, p: ProcessId) -> bool {
+        self.shared.dead[p.index()].load(Ordering::SeqCst)
+    }
+
+    /// Inject a benign crash.
+    pub fn crash(&self, p: ProcessId) {
+        let _ = self.senders[p.index()].send(Wire::Crash);
+    }
+
+    /// Inject a malicious crash with the given arbitrary-step budget.
+    pub fn malicious_crash(&self, p: ProcessId, steps: u32) {
+        let _ = self.senders[p.index()].send(Wire::MaliciousCrash(steps));
+    }
+
+    /// Let the system run for `d`, sampling exclusion among live
+    /// neighbors every `sample_every`; returns the number of samples at
+    /// which two non-dead neighbors were simultaneously eating.
+    pub fn observe(&self, d: Duration, sample_every: Duration) -> u64 {
+        let deadline = std::time::Instant::now() + d;
+        let mut violations = 0;
+        while std::time::Instant::now() < deadline {
+            std::thread::sleep(sample_every);
+            for &(a, b) in self.topo.edges() {
+                if self.phase_of(a) == Phase::Eating
+                    && self.phase_of(b) == Phase::Eating
+                    && (!self.is_dead(a) || !self.is_dead(b))
+                {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+
+    /// Shut every thread down and join them.
+    pub fn shutdown(self) {
+        for s in &self.senders {
+            let _ = s.send(Wire::Shutdown);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn node_thread(
+    cfg: NodeConfig,
+    rx: Receiver<Wire>,
+    peers: Vec<(ProcessId, Sender<Wire>)>,
+    shared: Shared2,
+    tick: Duration,
+    seed: u64,
+) {
+    let id = cfg.id;
+    let mut node = Node::new(cfg);
+    let mut rng = rng::rng(seed);
+    let send_all = |outs: Vec<(ProcessId, LinkMsg)>| {
+        for (to, msg) in outs {
+            if let Some((_, tx)) = peers.iter().find(|(q, _)| *q == to) {
+                let _ = tx.send(Wire::Data { from: id, msg });
+            }
+        }
+    };
+    let publish = |node: &Node| {
+        shared.phases[id.index()].store(phase_to_u8(node.phase()), Ordering::SeqCst);
+        shared.meals[id.index()].store(node.meals(), Ordering::SeqCst);
+    };
+    publish(&node);
+    // Ticks must fire even under continuous traffic: the stabilizing
+    // handshake relies on periodic retransmission, and a saturated
+    // `recv_timeout` would never time out.
+    let mut last_tick = std::time::Instant::now();
+    loop {
+        if last_tick.elapsed() >= tick {
+            last_tick = std::time::Instant::now();
+            let outs = node.handle(NodeEvent::Tick);
+            publish(&node);
+            send_all(outs);
+        }
+        let event = match rx.recv_timeout(tick) {
+            Ok(Wire::Data { from, msg }) => Some(NodeEvent::Deliver { from, msg }),
+            Ok(Wire::Crash) => {
+                shared.dead[id.index()].store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(Wire::MaliciousCrash(steps)) => {
+                // Arbitrary behavior within capability: spew garbage.
+                for _ in 0..steps {
+                    for (q, tx) in &peers {
+                        use rand::Rng;
+                        if rng.gen_bool(0.5) {
+                            let msg = LinkMsg::arbitrary(&mut rng, id, *q);
+                            let _ = tx.send(Wire::Data { from: id, msg });
+                        }
+                    }
+                    std::thread::sleep(tick / 4);
+                }
+                shared.dead[id.index()].store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(Wire::Shutdown) => return,
+            Err(RecvTimeoutError::Timeout) => Some(NodeEvent::Tick),
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        if let Some(ev) = event {
+            let outs = node.handle(ev);
+            publish(&node);
+            send_all(outs);
+        }
+    }
+}
+
+type Shared2 = Arc<Shared>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_eat_and_exclude() {
+        let rt = ThreadRuntime::spawn(Topology::ring(4), Duration::from_micros(200), 1);
+        let violations = rt.observe(Duration::from_millis(400), Duration::from_micros(100));
+        assert_eq!(violations, 0, "sampled exclusion must hold");
+        for p in rt.topology().processes() {
+            assert!(rt.meals_of(p) > 0, "{p} never ate under the thread runtime");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn crash_localizes_under_threads() {
+        let rt = ThreadRuntime::spawn(Topology::line(5), Duration::from_micros(200), 2);
+        std::thread::sleep(Duration::from_millis(100));
+        rt.malicious_crash(ProcessId(0), 8);
+        std::thread::sleep(Duration::from_millis(100));
+        let before: Vec<u64> = rt
+            .topology()
+            .processes()
+            .map(|p| rt.meals_of(p))
+            .collect();
+        std::thread::sleep(Duration::from_millis(400));
+        // Distance >= 3 from the crash keeps being served.
+        for p in [3usize, 4] {
+            assert!(
+                rt.meals_of(ProcessId(p)) > before[p],
+                "p{p} starved though far from the crash"
+            );
+        }
+        assert!(rt.is_dead(ProcessId(0)));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let rt = ThreadRuntime::spawn(Topology::line(2), Duration::from_micros(500), 3);
+        std::thread::sleep(Duration::from_millis(20));
+        rt.shutdown();
+    }
+}

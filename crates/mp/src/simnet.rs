@@ -1,0 +1,475 @@
+//! A deterministic simulated network for the message-passing diner.
+//!
+//! Reliable FIFO links (one queue per directed edge), a seeded scheduler
+//! that interleaves deliveries and node ticks fairly at random, and the
+//! same fault vocabulary as the shared-memory engine (reusing
+//! [`FaultPlan`]): benign crash, malicious crash (the faulty node emits
+//! arbitrary messages for a budget of turns, then halts), global
+//! transient corruption, initially dead nodes, and arbitrary initial
+//! states.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use diners_sim::fault::{FaultKind, FaultPlan};
+use diners_sim::graph::{ProcessId, Topology};
+use diners_sim::rng;
+use diners_sim::Phase;
+
+use crate::message::LinkMsg;
+use crate::node::{Node, NodeConfig, NodeEvent};
+
+/// Health of a simulated node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NetHealth {
+    Live,
+    Byzantine { remaining: u32 },
+    Dead,
+}
+
+/// A deterministic run of the message-passing diner over a topology.
+pub struct SimNet {
+    topo: Topology,
+    nodes: Vec<Node>,
+    /// `queues[2*e]` carries lo→hi traffic of edge `e`; `queues[2*e+1]`
+    /// carries hi→lo.
+    queues: Vec<VecDeque<LinkMsg>>,
+    health: Vec<NetHealth>,
+    faults: FaultPlan,
+    rng: StdRng,
+    step: u64,
+    meal_log: Vec<(u64, ProcessId)>,
+    meals_seen: Vec<u64>,
+    violation_steps: u64,
+    last_violation: Option<u64>,
+    /// Per-mille probability of dropping any sent message (lossy links).
+    loss_per_mille: u32,
+}
+
+impl SimNet {
+    /// Make every link lossy: each sent message is independently dropped
+    /// with probability `per_mille / 1000`. The protocol tolerates loss
+    /// — retransmission ticks re-drive the handshake and the master
+    /// regenerates lost fork tokens — at the cost of latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 900` (a link that almost never delivers
+    /// cannot make progress within test horizons).
+    pub fn set_loss_per_mille(&mut self, per_mille: u32) {
+        assert!(per_mille <= 900, "loss rate too high to be useful");
+        self.loss_per_mille = per_mille;
+    }
+
+    /// Build a network in the legitimate initial state.
+    pub fn new(topo: Topology, faults: FaultPlan, seed: u64) -> Self {
+        let n = topo.len();
+        let mut nodes: Vec<Node> = topo
+            .processes()
+            .map(|p| {
+                Node::new(NodeConfig {
+                    id: p,
+                    neighbors: topo.neighbors(p).to_vec(),
+                    diameter: topo.diameter(),
+                })
+            })
+            .collect();
+        let mut rng = rng::rng(rng::subseed(seed, 0x51E7));
+        if faults.starts_arbitrary() {
+            for node in &mut nodes {
+                node.corrupt(&mut rng);
+            }
+        }
+        let mut health = vec![NetHealth::Live; n];
+        for &p in faults.initially_dead_processes() {
+            health[p.index()] = NetHealth::Dead;
+        }
+        SimNet {
+            queues: vec![VecDeque::new(); topo.edge_count() * 2],
+            nodes,
+            health,
+            faults,
+            rng,
+            step: 0,
+            meal_log: Vec::new(),
+            meals_seen: vec![0; n],
+            violation_steps: 0,
+            last_violation: None,
+            loss_per_mille: 0,
+            topo,
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Steps (events) executed so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// The phase of node `p`.
+    pub fn phase_of(&self, p: ProcessId) -> Phase {
+        self.nodes[p.index()].phase()
+    }
+
+    /// Whether node `p` has halted.
+    pub fn is_dead(&self, p: ProcessId) -> bool {
+        matches!(self.health[p.index()], NetHealth::Dead)
+    }
+
+    /// All halted nodes.
+    pub fn dead_processes(&self) -> Vec<ProcessId> {
+        self.topo.processes().filter(|&p| self.is_dead(p)).collect()
+    }
+
+    /// Meals completed by `p` so far.
+    pub fn meals_of(&self, p: ProcessId) -> u64 {
+        self.nodes[p.index()].meals()
+    }
+
+    /// Meals completed by `p` at steps in `[from, to)`.
+    pub fn meals_in_window(&self, p: ProcessId, from: u64, to: u64) -> u64 {
+        self.meal_log
+            .iter()
+            .filter(|(s, q)| *q == p && *s >= from && *s < to)
+            .count() as u64
+    }
+
+    /// Steps at which two non-dead neighbors were simultaneously eating.
+    pub fn violation_steps(&self) -> u64 {
+        self.violation_steps
+    }
+
+    /// The last step with an exclusion violation, if any.
+    pub fn last_violation(&self) -> Option<u64> {
+        self.last_violation
+    }
+
+    /// Direct access to a node (tests, experiments).
+    pub fn node(&self, p: ProcessId) -> &Node {
+        &self.nodes[p.index()]
+    }
+
+    /// Set the `needs()` value of one node.
+    pub fn set_needs(&mut self, p: ProcessId, needs: bool) {
+        self.nodes[p.index()].set_needs(needs);
+    }
+
+    /// Execute one event (fault, delivery or tick).
+    pub fn step(&mut self) {
+        self.apply_due_faults();
+
+        // Candidate events: every non-empty queue, plus one tick slot per
+        // active node.
+        let mut candidates: Vec<Event> = Vec::new();
+        for (qi, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() {
+                candidates.push(Event::Deliver(qi));
+            }
+        }
+        for p in self.topo.processes() {
+            if !self.is_dead(p) {
+                candidates.push(Event::Turn(p));
+            }
+        }
+        if !candidates.is_empty() {
+            let ev = candidates[self.rng.gen_range(0..candidates.len())];
+            self.execute(ev);
+        }
+
+        // Exclusion monitor.
+        let mut pairs = 0;
+        for &(a, b) in self.topo.edges() {
+            if self.phase_of(a) == Phase::Eating
+                && self.phase_of(b) == Phase::Eating
+                && (!self.is_dead(a) || !self.is_dead(b))
+            {
+                pairs += 1;
+            }
+        }
+        if pairs > 0 {
+            self.violation_steps += 1;
+            self.last_violation = Some(self.step);
+        }
+
+        // Meal log.
+        for p in self.topo.processes() {
+            let m = self.nodes[p.index()].meals();
+            let seen = &mut self.meals_seen[p.index()];
+            while *seen < m {
+                self.meal_log.push((self.step, p));
+                *seen += 1;
+            }
+        }
+
+        self.step += 1;
+    }
+
+    /// Execute `steps` events.
+    pub fn run(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    fn apply_due_faults(&mut self) {
+        let due: Vec<_> = self.faults.due_at(self.step).copied().collect();
+        for ev in due {
+            match ev.kind {
+                FaultKind::Crash => self.health[ev.target.index()] = NetHealth::Dead,
+                FaultKind::MaliciousCrash { steps } => {
+                    if !self.is_dead(ev.target) {
+                        self.health[ev.target.index()] = if steps == 0 {
+                            NetHealth::Dead
+                        } else {
+                            NetHealth::Byzantine { remaining: steps }
+                        };
+                    }
+                }
+                FaultKind::TransientGlobal => {
+                    for node in &mut self.nodes {
+                        node.corrupt(&mut self.rng);
+                    }
+                    for q in &mut self.queues {
+                        q.clear();
+                    }
+                    // Refresh meal baselines: corruption does not change
+                    // counters, but keep the log consistent anyway.
+                    for p in self.topo.processes() {
+                        self.meals_seen[p.index()] = self.nodes[p.index()].meals();
+                    }
+                }
+                FaultKind::TransientLocal => {
+                    let node = &mut self.nodes[ev.target.index()];
+                    node.corrupt(&mut self.rng);
+                    self.meals_seen[ev.target.index()] = node.meals();
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, ev: Event) {
+        match ev {
+            Event::Deliver(qi) => {
+                let msg = self.queues[qi].pop_front().expect("queue non-empty");
+                let (from, to) = self.queue_endpoints(qi);
+                match self.health[to.index()] {
+                    NetHealth::Dead => {} // dropped on the floor
+                    NetHealth::Byzantine { .. } => {
+                        // A byzantine node's receive turn is also an
+                        // arbitrary-output turn.
+                        self.byzantine_turn(to);
+                    }
+                    NetHealth::Live => {
+                        let out = self.nodes[to.index()]
+                            .handle(NodeEvent::Deliver { from, msg });
+                        for (peer, m) in out {
+                            self.enqueue(to, peer, m);
+                        }
+                    }
+                }
+            }
+            Event::Turn(p) => match self.health[p.index()] {
+                NetHealth::Dead => {}
+                NetHealth::Byzantine { .. } => self.byzantine_turn(p),
+                NetHealth::Live => {
+                    let out = self.nodes[p.index()].handle(NodeEvent::Tick);
+                    for (peer, m) in out {
+                        self.enqueue(p, peer, m);
+                    }
+                }
+            },
+        }
+    }
+
+    fn byzantine_turn(&mut self, p: ProcessId) {
+        let neighbors: Vec<ProcessId> = self.topo.neighbors(p).to_vec();
+        for q in neighbors {
+            if self.rng.gen_bool(0.5) {
+                let msg = LinkMsg::arbitrary(&mut self.rng, p, q);
+                self.enqueue(p, q, msg);
+            }
+        }
+        if let NetHealth::Byzantine { remaining } = &mut self.health[p.index()] {
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.health[p.index()] = NetHealth::Dead;
+            }
+        }
+    }
+
+    fn enqueue(&mut self, from: ProcessId, to: ProcessId, msg: LinkMsg) {
+        if self.loss_per_mille > 0 && self.rng.gen_range(0..1000) < self.loss_per_mille {
+            return; // lost on the wire
+        }
+        let e = self
+            .topo
+            .edge_between(from, to)
+            .unwrap_or_else(|| panic!("{from} and {to} are not neighbors"));
+        let (lo, _) = self.topo.endpoints(e);
+        let dir = usize::from(from != lo);
+        let q = &mut self.queues[e.index() * 2 + dir];
+        // Bound retransmission pile-up: keep at most 4 queued messages
+        // per direction (the protocol tolerates drops of duplicates; a
+        // fresh message is never dropped because replies outnumber
+        // retransmissions only transiently).
+        if q.len() < 4 {
+            q.push_back(msg);
+        }
+    }
+
+    fn queue_endpoints(&self, qi: usize) -> (ProcessId, ProcessId) {
+        let e = diners_sim::graph::EdgeId(qi / 2);
+        let (lo, hi) = self.topo.endpoints(e);
+        if qi.is_multiple_of(2) {
+            (lo, hi)
+        } else {
+            (hi, lo)
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Deliver(usize),
+    Turn(ProcessId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everyone_eats_on_a_ring() {
+        let mut net = SimNet::new(Topology::ring(5), FaultPlan::none(), 3);
+        net.run(40_000);
+        for p in net.topology().processes() {
+            assert!(net.meals_of(p) > 0, "{p} never ate");
+        }
+        assert_eq!(net.violation_steps(), 0, "exclusion from legit start");
+    }
+
+    #[test]
+    fn exclusion_recovers_from_arbitrary_states() {
+        for seed in 0..5 {
+            let mut net = SimNet::new(
+                Topology::ring(4),
+                FaultPlan::new().from_arbitrary_state(),
+                seed,
+            );
+            net.run(60_000);
+            // Violations may occur early; they must stop.
+            if let Some(last) = net.last_violation() {
+                assert!(
+                    last < 20_000,
+                    "seed {seed}: violation at {last} long after stabilization"
+                );
+            }
+            let total: u64 = net
+                .topology()
+                .processes()
+                .map(|p| net.meals_of(p))
+                .sum();
+            assert!(total > 0, "seed {seed}: nobody ate");
+        }
+    }
+
+    #[test]
+    fn crash_contains_damage() {
+        let mut net = SimNet::new(
+            Topology::line(6),
+            FaultPlan::new().malicious_crash(500, 0, 8),
+            7,
+        );
+        net.run(20_000);
+        let since = net.step_count();
+        net.run(60_000);
+        assert!(net.is_dead(ProcessId(0)));
+        // Distant nodes keep eating.
+        for p in [3, 4, 5] {
+            assert!(
+                net.meals_in_window(ProcessId(p), since, net.step_count()) > 0,
+                "p{p} starved though far from the crash"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_fault_is_absorbed() {
+        let mut net = SimNet::new(
+            Topology::ring(4),
+            FaultPlan::new().transient_global(5_000),
+            11,
+        );
+        net.run(60_000);
+        if let Some(last) = net.last_violation() {
+            assert!(last < 25_000, "violation at {last} long after transient");
+        }
+        let final_window: u64 = net
+            .topology()
+            .processes()
+            .map(|p| net.meals_in_window(p, 30_000, net.step_count()))
+            .sum();
+        assert!(final_window > 0, "service resumed after the transient");
+    }
+
+    #[test]
+    fn lossy_links_slow_but_do_not_break_the_protocol() {
+        for per_mille in [100, 300] {
+            let mut net = SimNet::new(Topology::ring(4), FaultPlan::none(), 21);
+            net.set_loss_per_mille(per_mille);
+            net.run(120_000);
+            for p in net.topology().processes() {
+                assert!(
+                    net.meals_of(p) > 0,
+                    "{p} starved at {per_mille}‰ loss"
+                );
+            }
+            assert_eq!(
+                net.violation_steps(),
+                0,
+                "loss must never cause a safety violation ({per_mille}‰)"
+            );
+        }
+    }
+
+    #[test]
+    fn lost_forks_are_regenerated() {
+        // Very lossy line(2): fork transfers get dropped regularly; the
+        // master's regeneration keeps both sides eating.
+        let mut net = SimNet::new(Topology::line(2), FaultPlan::none(), 30);
+        net.set_loss_per_mille(500);
+        net.run(150_000);
+        assert!(net.meals_of(ProcessId(0)) > 0);
+        assert!(net.meals_of(ProcessId(1)) > 0);
+        assert_eq!(net.violation_steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate too high")]
+    fn excessive_loss_rate_is_rejected() {
+        let mut net = SimNet::new(Topology::line(2), FaultPlan::none(), 0);
+        net.set_loss_per_mille(950);
+    }
+
+    #[test]
+    fn initially_dead_node_is_inert() {
+        let mut net = SimNet::new(
+            Topology::line(3),
+            FaultPlan::new().initially_dead(1),
+            2,
+        );
+        net.run(20_000);
+        assert_eq!(net.meals_of(ProcessId(1)), 0);
+        assert!(net.is_dead(ProcessId(1)));
+        // End nodes are beyond its forks' reach only if it died without
+        // them; with the initial fork placement p0 (master of (0,1))
+        // holds that fork, so p0 can still eat.
+        assert!(net.meals_of(ProcessId(0)) > 0);
+    }
+}

@@ -1,0 +1,702 @@
+//! The simulation engine: weakly fair interleaving with fault injection.
+//!
+//! [`Engine`] executes one [`DinerAlgorithm`] over one [`Topology`] under
+//! one [`Scheduler`] and one [`FaultPlan`]. Each step it
+//!
+//! 1. applies the faults due at the current step,
+//! 2. enumerates the enabled action instances of every live process (plus
+//!    one arbitrary-step pseudo-move per maliciously crashing process),
+//! 3. lets the scheduler pick one and executes its command atomically
+//!    (composite atomicity, serial/central daemon — the paper's model),
+//! 4. updates the service metrics and the exclusion monitor.
+//!
+//! Runs are fully deterministic given the seed, the scheduler and the
+//! fault plan.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use crate::algorithm::{
+    ActionId, DinerAlgorithm, Move, Phase, SystemState, View, Write,
+};
+use crate::fault::{FaultKind, FaultPlan, Health};
+use crate::graph::{ProcessId, Topology};
+use crate::metrics::DinerMetrics;
+use crate::predicate::{Snapshot, StatePredicate};
+use crate::rng;
+use crate::scheduler::{EnabledMove, LeastRecentScheduler, Scheduler};
+use crate::trace::{Event, EventKind, Trace};
+use crate::workload::{AlwaysHungry, Workload};
+
+/// What happened in one engine step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The scheduler fired this move.
+    Executed(Move),
+    /// No action instance was enabled (the step still advances time, so
+    /// later faults and step-dependent workloads still occur).
+    Quiescent,
+}
+
+/// Aggregate result of [`Engine::run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Steps of simulated time that elapsed.
+    pub steps: u64,
+    /// Steps in which an action fired.
+    pub executed: u64,
+    /// Steps in which nothing was enabled.
+    pub quiescent: u64,
+}
+
+/// Builder for [`Engine`]; see [`Engine::builder`].
+pub struct EngineBuilder<A: DinerAlgorithm> {
+    alg: A,
+    topo: Topology,
+    workload: Box<dyn Workload>,
+    sched: Box<dyn Scheduler>,
+    faults: FaultPlan,
+    seed: u64,
+    record_trace: bool,
+    initial_state: Option<SystemState<A>>,
+}
+
+impl<A: DinerAlgorithm> EngineBuilder<A> {
+    /// Set the workload (default: [`AlwaysHungry`]).
+    #[must_use]
+    pub fn workload(mut self, w: impl Workload + 'static) -> Self {
+        self.workload = Box::new(w);
+        self
+    }
+
+    /// Set the scheduler (default: [`LeastRecentScheduler`]).
+    #[must_use]
+    pub fn scheduler(mut self, s: impl Scheduler + 'static) -> Self {
+        self.sched = Box::new(s);
+        self
+    }
+
+    /// Set the fault plan (default: no faults).
+    #[must_use]
+    pub fn faults(mut self, f: FaultPlan) -> Self {
+        self.faults = f;
+        self
+    }
+
+    /// Seed for every randomized engine component (state corruption,
+    /// malicious steps). Default 0.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Record an event trace (default off).
+    #[must_use]
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Start from an explicit state instead of the algorithm's legitimate
+    /// initial state (scenario reproductions). Overridden by
+    /// [`FaultPlan::from_arbitrary_state`].
+    #[must_use]
+    pub fn initial_state(mut self, state: SystemState<A>) -> Self {
+        self.initial_state = Some(state);
+        self
+    }
+
+    /// Construct the engine.
+    pub fn build(self) -> Engine<A> {
+        let mut rng = rng::rng(rng::subseed(self.seed, 0xE61E));
+        let mut state = self
+            .initial_state
+            .unwrap_or_else(|| SystemState::initial(&self.alg, &self.topo));
+        if self.faults.starts_arbitrary() {
+            state.corrupt_all(&self.alg, &self.topo, &mut rng);
+        }
+        let n = self.topo.len();
+        let mut health = vec![Health::Live; n];
+        for &p in self.faults.initially_dead_processes() {
+            health[p.index()] = Health::Dead;
+        }
+        let mut trace = Trace::new();
+        trace.enable(self.record_trace);
+        Engine {
+            metrics: DinerMetrics::new(n),
+            last_phase: (0..n)
+                .map(|i| self.alg.phase(state.local(ProcessId(i))))
+                .collect(),
+            alg: self.alg,
+            topo: self.topo,
+            state,
+            health,
+            workload: self.workload,
+            sched: self.sched,
+            faults: self.faults,
+            step: 0,
+            executed: 0,
+            quiescent: 0,
+            rng,
+            trace,
+            first_enabled: HashMap::new(),
+        }
+    }
+}
+
+/// A deterministic single-threaded run of one algorithm over one topology.
+pub struct Engine<A: DinerAlgorithm> {
+    alg: A,
+    topo: Topology,
+    state: SystemState<A>,
+    health: Vec<Health>,
+    workload: Box<dyn Workload>,
+    sched: Box<dyn Scheduler>,
+    faults: FaultPlan,
+    step: u64,
+    executed: u64,
+    quiescent: u64,
+    rng: StdRng,
+    trace: Trace,
+    metrics: DinerMetrics,
+    last_phase: Vec<Phase>,
+    /// Step at which each currently-enabled move first became (and stayed)
+    /// enabled without being executed — drives fairness ages.
+    first_enabled: HashMap<Move, u64>,
+}
+
+impl<A: DinerAlgorithm> Engine<A> {
+    /// Start building an engine for `alg` on `topo`.
+    pub fn builder(alg: A, topo: Topology) -> EngineBuilder<A> {
+        EngineBuilder {
+            alg,
+            topo,
+            workload: Box::new(AlwaysHungry),
+            sched: Box::new(LeastRecentScheduler::new()),
+            faults: FaultPlan::none(),
+            seed: 0,
+            record_trace: false,
+            initial_state: None,
+        }
+    }
+
+    /// The algorithm under simulation.
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The current variable state.
+    pub fn state(&self) -> &SystemState<A> {
+        &self.state
+    }
+
+    /// Per-process health.
+    pub fn health(&self) -> &[Health] {
+        &self.health
+    }
+
+    /// The current step counter (steps of simulated time so far).
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Service metrics accumulated so far.
+    pub fn metrics(&self) -> &DinerMetrics {
+        &self.metrics
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace access (to enable/clear mid-run).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// The diner phase of `p` in the current state.
+    pub fn phase_of(&self, p: ProcessId) -> Phase {
+        self.alg.phase(self.state.local(p))
+    }
+
+    /// Whether `p` has halted.
+    pub fn is_dead(&self, p: ProcessId) -> bool {
+        self.health[p.index()].is_dead()
+    }
+
+    /// All halted processes.
+    pub fn dead_processes(&self) -> Vec<ProcessId> {
+        self.topo.processes().filter(|&p| self.is_dead(p)).collect()
+    }
+
+    /// An immutable snapshot for predicate evaluation.
+    pub fn snapshot(&self) -> Snapshot<'_, A> {
+        Snapshot::new(&self.topo, &self.state, &self.health)
+    }
+
+    /// Evaluate a predicate on the current state.
+    pub fn check<P: StatePredicate<A>>(&self, pred: &P) -> bool {
+        pred.holds(&self.snapshot())
+    }
+
+    /// Pairs of neighbors simultaneously eating right now, as
+    /// `(total, with_live_endpoint)` — Theorem 3 bounds the first,
+    /// the `E` predicate says the second is eventually zero.
+    pub fn eating_pairs(&self) -> (usize, usize) {
+        let mut total = 0;
+        let mut live = 0;
+        for &(a, b) in self.topo.edges() {
+            if self.phase_of(a) == Phase::Eating && self.phase_of(b) == Phase::Eating {
+                total += 1;
+                if !self.is_dead(a) || !self.is_dead(b) {
+                    live += 1;
+                }
+            }
+        }
+        (total, live)
+    }
+
+    /// Enumerate the enabled moves in the current state.
+    pub fn enabled_moves(&self) -> Vec<Move> {
+        let mut moves = Vec::new();
+        for p in self.topo.processes() {
+            match self.health[p.index()] {
+                Health::Dead => {}
+                Health::Byzantine { .. } => moves.push(Move {
+                    pid: p,
+                    action: ActionId::MALICIOUS,
+                }),
+                Health::Live => {
+                    let needs = self.workload.needs(p, self.step);
+                    let view = View::new(&self.topo, &self.state, p, needs);
+                    for (ki, kind) in self.alg.kinds().iter().enumerate() {
+                        if kind.per_neighbor {
+                            for slot in 0..self.topo.degree(p) {
+                                let a = ActionId::at_slot(ki, slot);
+                                if self.alg.enabled(&view, a) {
+                                    moves.push(Move { pid: p, action: a });
+                                }
+                            }
+                        } else {
+                            let a = ActionId::global(ki);
+                            if self.alg.enabled(&view, a) {
+                                moves.push(Move { pid: p, action: a });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        moves
+    }
+
+    /// Execute one step of the computation; see the module docs.
+    pub fn step(&mut self) -> StepOutcome {
+        self.apply_due_faults();
+        let enabled = self.enabled_moves();
+
+        // Refresh fairness ages: drop moves no longer enabled, admit new.
+        let step = self.step;
+        self.first_enabled.retain(|m, _| enabled.contains(m));
+        let annotated: Vec<EnabledMove> = enabled
+            .iter()
+            .map(|&mv| {
+                let first = *self.first_enabled.entry(mv).or_insert(step);
+                EnabledMove {
+                    mv,
+                    age: step - first + 1,
+                }
+            })
+            .collect();
+
+        if annotated.is_empty() {
+            self.step += 1;
+            self.quiescent += 1;
+            return StepOutcome::Quiescent;
+        }
+
+        let choice = self.sched.pick(step, &annotated);
+        assert!(
+            choice < annotated.len(),
+            "scheduler {} returned out-of-range index {choice}",
+            self.sched.name()
+        );
+        let mv = annotated[choice].mv;
+        self.execute_move(mv);
+        self.first_enabled.remove(&mv);
+
+        // Exclusion monitor.
+        let (_, live_pairs) = self.eating_pairs();
+        self.metrics.on_exclusion_check(step, live_pairs);
+
+        self.step += 1;
+        self.executed += 1;
+        StepOutcome::Executed(mv)
+    }
+
+    /// Run `steps` steps of simulated time.
+    pub fn run(&mut self, steps: u64) -> RunSummary {
+        let start_exec = self.executed;
+        let start_quiet = self.quiescent;
+        for _ in 0..steps {
+            self.step();
+        }
+        RunSummary {
+            steps,
+            executed: self.executed - start_exec,
+            quiescent: self.quiescent - start_quiet,
+        }
+    }
+
+    /// Run until `pred` holds (checked before each step), at most
+    /// `max_steps` further steps. Returns the step count at which the
+    /// predicate first held.
+    pub fn run_until<P: StatePredicate<A>>(&mut self, pred: &P, max_steps: u64) -> Option<u64> {
+        let deadline = self.step + max_steps;
+        loop {
+            if pred.holds(&self.snapshot()) {
+                return Some(self.step);
+            }
+            if self.step >= deadline {
+                return None;
+            }
+            self.step();
+        }
+    }
+
+    /// Run up to `max_steps` steps and report the first step from which
+    /// `pred` held *continuously* through the horizon (the empirical
+    /// convergence point for closed predicates). `None` if the predicate
+    /// does not hold at the end of the horizon.
+    pub fn convergence_step<P: StatePredicate<A>>(
+        &mut self,
+        pred: &P,
+        max_steps: u64,
+    ) -> Option<u64> {
+        let mut since: Option<u64> = if pred.holds(&self.snapshot()) {
+            Some(self.step)
+        } else {
+            None
+        };
+        for _ in 0..max_steps {
+            self.step();
+            if pred.holds(&self.snapshot()) {
+                since.get_or_insert(self.step);
+            } else {
+                since = None;
+            }
+        }
+        since
+    }
+
+    fn apply_due_faults(&mut self) {
+        let step = self.step;
+        let due: Vec<_> = self.faults.due_at(step).copied().collect();
+        for ev in due {
+            match ev.kind {
+                FaultKind::Crash => {
+                    self.health[ev.target.index()] = Health::Dead;
+                }
+                FaultKind::MaliciousCrash { steps } => {
+                    if self.health[ev.target.index()].is_active() {
+                        self.health[ev.target.index()] = if steps == 0 {
+                            Health::Dead
+                        } else {
+                            Health::Byzantine { remaining: steps }
+                        };
+                    }
+                }
+                FaultKind::TransientGlobal => {
+                    self.state.corrupt_all(&self.alg, &self.topo, &mut self.rng);
+                    self.resync_phases();
+                }
+                FaultKind::TransientLocal => {
+                    self.state
+                        .corrupt_process(&self.alg, &self.topo, &mut self.rng, ev.target);
+                    self.last_phase[ev.target.index()] =
+                        self.alg.phase(self.state.local(ev.target));
+                }
+            }
+            self.trace.record(Event {
+                step,
+                pid: ev.target,
+                kind: EventKind::Fault(ev.kind),
+            });
+        }
+    }
+
+    fn resync_phases(&mut self) {
+        for p in self.topo.processes() {
+            self.last_phase[p.index()] = self.alg.phase(self.state.local(p));
+        }
+    }
+
+    fn execute_move(&mut self, mv: Move) {
+        let pid = mv.pid;
+        let before = self.alg.phase(self.state.local(pid));
+        let writes: Vec<Write<A>> = if mv.action.is_malicious() {
+            let view = View::new(&self.topo, &self.state, pid, false);
+            let w = self.alg.malicious_writes(&view, &mut self.rng);
+            match &mut self.health[pid.index()] {
+                Health::Byzantine { remaining } => {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        self.health[pid.index()] = Health::Dead;
+                    }
+                }
+                other => unreachable!("malicious move for non-byzantine process: {other:?}"),
+            }
+            self.trace.record(Event {
+                step: self.step,
+                pid,
+                kind: EventKind::MaliciousStep,
+            });
+            w
+        } else {
+            let needs = self.workload.needs(pid, self.step);
+            let view = View::new(&self.topo, &self.state, pid, needs);
+            debug_assert!(
+                self.alg.enabled(&view, mv.action),
+                "scheduler fired a disabled move {mv:?}"
+            );
+            let w = self.alg.execute(&view, mv.action);
+            let kind = self.alg.kinds()[mv.action.kind];
+            self.trace.record(Event {
+                step: self.step,
+                pid,
+                kind: EventKind::Action {
+                    kind: mv.action.kind,
+                    slot: mv.action.slot,
+                    name: kind.name,
+                },
+            });
+            w
+        };
+
+        for w in writes {
+            match w {
+                Write::Local(l) => *self.state.local_mut(pid) = l,
+                Write::Edge { neighbor, value } => {
+                    let e = self.topo.edge_between(pid, neighbor).unwrap_or_else(|| {
+                        panic!("{} wrote edge to non-neighbor {neighbor}", pid)
+                    });
+                    *self.state.edge_mut(e) = value;
+                }
+            }
+        }
+
+        let after = self.alg.phase(self.state.local(pid));
+        self.last_phase[pid.index()] = after;
+        if before != after {
+            self.metrics
+                .on_phase_change(pid, before, after, self.step);
+            if after == Phase::Eating {
+                self.workload.note_eat(pid, self.step);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::predicate::FnPredicate;
+    use crate::scheduler::RandomScheduler;
+    use crate::toy::{ToyDiners, TOY_ENTER, TOY_EXIT, TOY_JOIN};
+    use crate::workload::{NeverHungry, QuotaWorkload};
+
+    fn toy_engine(n: usize) -> Engine<ToyDiners> {
+        Engine::builder(ToyDiners, Topology::line(n))
+            .scheduler(RandomScheduler::new(1))
+            .seed(1)
+            .build()
+    }
+
+    #[test]
+    fn never_hungry_system_is_quiescent() {
+        let mut e = Engine::builder(ToyDiners, Topology::ring(4))
+            .workload(NeverHungry)
+            .build();
+        let s = e.run(10);
+        assert_eq!(s.executed, 0);
+        assert_eq!(s.quiescent, 10);
+        assert_eq!(e.step_count(), 10);
+    }
+
+    #[test]
+    fn everyone_eats_under_fair_scheduling() {
+        let mut e = toy_engine(5);
+        e.run(2_000);
+        for p in e.topology().processes() {
+            assert!(e.metrics().eats_of(p) > 0, "{p} never ate");
+        }
+        assert_eq!(e.metrics().violation_step_count(), 0);
+    }
+
+    #[test]
+    fn quota_workload_quiesces_after_meals() {
+        let mut e = Engine::builder(ToyDiners, Topology::line(3))
+            .workload(QuotaWorkload::uniform(3, 2))
+            .build();
+        e.run(500);
+        for p in e.topology().processes() {
+            assert_eq!(e.metrics().eats_of(p), 2, "{p} should eat exactly twice");
+        }
+        // After quotas are filled, nothing is enabled.
+        assert!(e.enabled_moves().is_empty());
+    }
+
+    #[test]
+    fn crash_fault_halts_a_process() {
+        let mut e = Engine::builder(ToyDiners, Topology::line(4))
+            .faults(FaultPlan::new().crash(10, 0))
+            .record_trace(true)
+            .build();
+        e.run(100);
+        assert!(e.is_dead(ProcessId(0)));
+        assert_eq!(e.dead_processes(), vec![ProcessId(0)]);
+        // Dead process takes no further actions.
+        let actions_after: Vec<_> = e
+            .trace()
+            .actions_of(ProcessId(0))
+            .into_iter()
+            .filter(|(s, _)| *s >= 10)
+            .collect();
+        assert!(actions_after.is_empty(), "dead process acted: {actions_after:?}");
+    }
+
+    #[test]
+    fn malicious_crash_takes_exactly_k_steps_then_halts() {
+        let mut e = Engine::builder(ToyDiners, Topology::line(3))
+            .faults(FaultPlan::new().malicious_crash(0, 1, 3))
+            .record_trace(true)
+            .build();
+        e.run(200);
+        assert!(e.is_dead(ProcessId(1)));
+        let malicious = e
+            .trace()
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev.kind, EventKind::MaliciousStep))
+            .count();
+        assert_eq!(malicious, 3);
+    }
+
+    #[test]
+    fn malicious_crash_with_zero_steps_is_benign() {
+        let mut e = Engine::builder(ToyDiners, Topology::line(3))
+            .faults(FaultPlan::new().malicious_crash(5, 2, 0))
+            .build();
+        e.run(50);
+        assert!(e.is_dead(ProcessId(2)));
+    }
+
+    #[test]
+    fn initially_dead_never_acts() {
+        let mut e = Engine::builder(ToyDiners, Topology::line(3))
+            .faults(FaultPlan::new().initially_dead(1))
+            .record_trace(true)
+            .build();
+        e.run(200);
+        assert!(e.trace().actions_of(ProcessId(1)).is_empty());
+        // Its neighbors can still eat (it died thinking).
+        assert!(e.metrics().eats_of(ProcessId(0)) > 0);
+    }
+
+    #[test]
+    fn arbitrary_start_is_deterministic_in_seed() {
+        let build = |seed| {
+            Engine::builder(ToyDiners, Topology::ring(6))
+                .faults(FaultPlan::new().from_arbitrary_state())
+                .seed(seed)
+                .build()
+        };
+        assert_eq!(build(7).state(), build(7).state());
+        // Over several seeds, at least one differs from the legitimate
+        // initial state (all thinking).
+        let legit = SystemState::initial(&ToyDiners, &Topology::ring(6));
+        assert!((0..10).any(|s| build(s).state() != &legit));
+    }
+
+    #[test]
+    fn transient_global_corrupts_state() {
+        let mut e = Engine::builder(ToyDiners, Topology::ring(8))
+            .workload(NeverHungry)
+            .faults(FaultPlan::new().transient_global(5))
+            .seed(3)
+            .build();
+        e.run(5);
+        let before = e.state().clone();
+        e.run(1);
+        assert_ne!(&before, e.state(), "transient fault should perturb state");
+    }
+
+    #[test]
+    fn run_until_and_convergence() {
+        let mut e = toy_engine(4);
+        let p0_ate = FnPredicate::new::<ToyDiners>("p0-eating", |s: &Snapshot<'_, ToyDiners>| {
+            *s.state.local(ProcessId(0)) == Phase::Eating
+        });
+        let at = e.run_until(&p0_ate, 10_000);
+        assert!(at.is_some(), "p0 eventually eats");
+
+        // Toy diners converge to "no live neighbors both eating" trivially.
+        let mut e2 = toy_engine(4);
+        let excl = FnPredicate::new::<ToyDiners>("exclusion", |s: &Snapshot<'_, ToyDiners>| {
+            s.topo.edges().iter().all(|&(a, b)| {
+                !(*s.state.local(a) == Phase::Eating && *s.state.local(b) == Phase::Eating)
+            })
+        });
+        assert!(e2.convergence_step(&excl, 500).is_some());
+    }
+
+    #[test]
+    fn eating_pairs_counts() {
+        let t = Topology::line(3);
+        let mut st: SystemState<ToyDiners> = SystemState::initial(&ToyDiners, &t);
+        *st.local_mut(ProcessId(0)) = Phase::Eating;
+        *st.local_mut(ProcessId(1)) = Phase::Eating;
+        let e = Engine::builder(ToyDiners, t).initial_state(st).build();
+        assert_eq!(e.eating_pairs(), (1, 1));
+    }
+
+    #[test]
+    fn enabled_moves_reflect_guards() {
+        let e = toy_engine(3);
+        let moves = e.enabled_moves();
+        // Initially everyone is thinking and hungry-able: only joins.
+        assert_eq!(moves.len(), 3);
+        assert!(moves.iter().all(|m| m.action.kind == TOY_JOIN));
+    }
+
+    #[test]
+    fn step_outcome_reports_move() {
+        let mut e = toy_engine(2);
+        match e.step() {
+            StepOutcome::Executed(m) => assert_eq!(m.action.kind, TOY_JOIN),
+            StepOutcome::Quiescent => panic!("join should be enabled"),
+        }
+    }
+
+    #[test]
+    fn phases_and_metrics_agree() {
+        let mut e = toy_engine(2);
+        e.run(100);
+        let total: u64 = e.topology().processes().map(|p| e.metrics().eats_of(p)).sum();
+        assert!(total > 0);
+        // Whoever is eating now is counted in current phase queries.
+        for p in e.topology().processes() {
+            let _ = e.phase_of(p);
+        }
+        let _ = (TOY_ENTER, TOY_EXIT);
+    }
+}

@@ -1,0 +1,404 @@
+//! Exhaustive state-space exploration (bounded model checking).
+//!
+//! For small systems the guarded-command model is finite enough to
+//! enumerate *every* reachable state under *every* daemon — a much
+//! stronger check than any sampled schedule: a safety property verified
+//! here holds for all weakly fair computations (and all unfair ones).
+//!
+//! [`explore`] runs a BFS over global states from a given initial state,
+//! following every enabled move of every live process, checking a safety
+//! predicate in each state and reporting deadlocks (states with no
+//! enabled move). The search is bounded by [`Limits::max_states`]; the
+//! report says whether it was truncated, so "verified" is only claimed
+//! for complete searches.
+//!
+//! The workload must be state-independent for the state space to be
+//! well-defined: each process either always or never "needs" to eat
+//! (the per-process `needs` mask).
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+use crate::algorithm::{Algorithm, Move, SystemState, View, Write};
+use crate::fault::Health;
+use crate::graph::Topology;
+use crate::predicate::Snapshot;
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Stop after visiting this many distinct states.
+    pub max_states: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_states: 200_000,
+        }
+    }
+}
+
+/// Result of an exhaustive search.
+#[derive(Clone, Debug)]
+pub struct ExplorationReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions (state, move) explored.
+    pub transitions: u64,
+    /// Number of distinct deadlock states (no move enabled anywhere).
+    pub deadlocks: usize,
+    /// The move sequence to the first property violation, if any.
+    pub violation: Option<Vec<Move>>,
+    /// Whether the search hit [`Limits::max_states`] before completing.
+    pub truncated: bool,
+}
+
+impl ExplorationReport {
+    /// Whether the property was verified over the *complete* reachable
+    /// state space.
+    pub fn verified(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+}
+
+/// Exhaustively explore the reachable state space of `alg` on `topo`
+/// from `initial` with the given health vector and per-process `needs`
+/// mask, checking `safety` in every reachable state.
+///
+/// # Panics
+///
+/// Panics if `needs` or `health` length differs from the topology size.
+pub fn explore<A, F>(
+    alg: &A,
+    topo: &Topology,
+    initial: SystemState<A>,
+    health: &[Health],
+    needs: &[bool],
+    safety: F,
+    limits: Limits,
+) -> ExplorationReport
+where
+    A: Algorithm,
+    A::Local: Hash + Eq,
+    A::Edge: Hash + Eq,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+{
+    assert_eq!(needs.len(), topo.len(), "needs mask size mismatch");
+    assert_eq!(health.len(), topo.len(), "health vector size mismatch");
+
+    let mut report = ExplorationReport {
+        states: 0,
+        transitions: 0,
+        deadlocks: 0,
+        violation: None,
+        truncated: false,
+    };
+
+    // Map state -> (parent index, move from parent) for trace rebuild.
+    let mut ids: HashMap<StateKey<A>, usize> = HashMap::new();
+    let mut parents: Vec<Option<(usize, Move)>> = Vec::new();
+    let mut states: Vec<SystemState<A>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let check = |state: &SystemState<A>| -> bool {
+        let snap = Snapshot::new(topo, state, health);
+        safety(&snap)
+    };
+
+    if !check(&initial) {
+        report.states = 1;
+        report.violation = Some(Vec::new());
+        return report;
+    }
+    ids.insert(StateKey::of(&initial), 0);
+    parents.push(None);
+    states.push(initial);
+    queue.push_back(0);
+
+    while let Some(idx) = queue.pop_front() {
+        let moves = enabled_moves(alg, topo, &states[idx], health, needs);
+        if moves.is_empty() {
+            report.deadlocks += 1;
+            continue;
+        }
+        for mv in moves {
+            report.transitions += 1;
+            let next = apply(alg, topo, &states[idx], mv, needs);
+            let key = StateKey::of(&next);
+            if ids.contains_key(&key) {
+                continue;
+            }
+            let ok = check(&next);
+            let next_idx = states.len();
+            ids.insert(key, next_idx);
+            parents.push(Some((idx, mv)));
+            states.push(next);
+            if !ok {
+                report.states = states.len();
+                report.violation = Some(rebuild_trace(&parents, next_idx));
+                return report;
+            }
+            if states.len() >= limits.max_states {
+                report.states = states.len();
+                report.truncated = true;
+                return report;
+            }
+            queue.push_back(next_idx);
+        }
+    }
+
+    report.states = states.len();
+    report
+}
+
+fn enabled_moves<A: Algorithm>(
+    alg: &A,
+    topo: &Topology,
+    state: &SystemState<A>,
+    health: &[Health],
+    needs: &[bool],
+) -> Vec<Move> {
+    let mut moves = Vec::new();
+    for p in topo.processes() {
+        if !health[p.index()].is_live() {
+            continue;
+        }
+        let view = View::new(topo, state, p, needs[p.index()]);
+        for (ki, kind) in alg.kinds().iter().enumerate() {
+            if kind.per_neighbor {
+                for slot in 0..topo.degree(p) {
+                    let a = crate::algorithm::ActionId::at_slot(ki, slot);
+                    if alg.enabled(&view, a) {
+                        moves.push(Move { pid: p, action: a });
+                    }
+                }
+            } else {
+                let a = crate::algorithm::ActionId::global(ki);
+                if alg.enabled(&view, a) {
+                    moves.push(Move { pid: p, action: a });
+                }
+            }
+        }
+    }
+    moves
+}
+
+fn apply<A: Algorithm>(
+    alg: &A,
+    topo: &Topology,
+    state: &SystemState<A>,
+    mv: Move,
+    needs: &[bool],
+) -> SystemState<A> {
+    let mut next = state.clone();
+    let writes: Vec<Write<A>> = {
+        let view = View::new(topo, state, mv.pid, needs[mv.pid.index()]);
+        alg.execute(&view, mv.action)
+    };
+    for w in writes {
+        match w {
+            Write::Local(l) => *next.local_mut(mv.pid) = l,
+            Write::Edge { neighbor, value } => {
+                let e = topo
+                    .edge_between(mv.pid, neighbor)
+                    .expect("edge write to neighbor");
+                *next.edge_mut(e) = value;
+            }
+        }
+    }
+    next
+}
+
+fn rebuild_trace(parents: &[Option<(usize, Move)>], mut idx: usize) -> Vec<Move> {
+    let mut trace = Vec::new();
+    while let Some((parent, mv)) = parents[idx] {
+        trace.push(mv);
+        idx = parent;
+    }
+    trace.reverse();
+    trace
+}
+
+/// Hashable snapshot of a full system state.
+struct StateKey<A: Algorithm> {
+    locals: Vec<A::Local>,
+    edges: Vec<A::Edge>,
+}
+
+impl<A: Algorithm> StateKey<A>
+where
+    A::Local: Clone,
+    A::Edge: Clone,
+{
+    fn of(state: &SystemState<A>) -> Self {
+        StateKey {
+            locals: state.locals().to_vec(),
+            edges: state.edges().to_vec(),
+        }
+    }
+}
+
+impl<A: Algorithm> PartialEq for StateKey<A>
+where
+    A::Local: Eq,
+    A::Edge: Eq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.locals == other.locals && self.edges == other.edges
+    }
+}
+
+impl<A: Algorithm> Eq for StateKey<A>
+where
+    A::Local: Eq,
+    A::Edge: Eq,
+{
+}
+
+impl<A: Algorithm> Hash for StateKey<A>
+where
+    A::Local: Hash,
+    A::Edge: Hash,
+{
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.locals.hash(state);
+        self.edges.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ProcessId;
+    use crate::algorithm::Phase;
+    use crate::graph::Topology;
+    use crate::toy::ToyDiners;
+
+    fn live(n: usize) -> Vec<Health> {
+        vec![Health::Live; n]
+    }
+
+    fn exclusion(snap: &Snapshot<'_, ToyDiners>) -> bool {
+        snap.topo.edges().iter().all(|&(a, b)| {
+            !(*snap.state.local(a) == Phase::Eating && *snap.state.local(b) == Phase::Eating)
+        })
+    }
+
+    #[test]
+    fn toy_diners_exclusion_verified_on_a_line() {
+        let topo = Topology::line(3);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let report = explore(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(3),
+            &[true; 3],
+            exclusion,
+            Limits::default(),
+        );
+        assert!(report.verified(), "{report:?}");
+        assert_eq!(report.deadlocks, 0);
+        // 3 processes x 3 phases = up to 27 states; all reachable except
+        // those with adjacent eaters.
+        assert!(report.states <= 27, "{}", report.states);
+        assert!(report.transitions > 0);
+    }
+
+    #[test]
+    fn toy_diners_exclusion_verified_on_a_ring() {
+        let topo = Topology::ring(4);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let report = explore(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(4),
+            &[true; 4],
+            exclusion,
+            Limits::default(),
+        );
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn violation_is_found_and_traced_from_a_bad_start() {
+        // Start with two adjacent eaters: the initial state itself
+        // violates exclusion.
+        let topo = Topology::line(2);
+        let mut initial = SystemState::initial(&ToyDiners, &topo);
+        *initial.local_mut(ProcessId(0)) = Phase::Eating;
+        *initial.local_mut(ProcessId(1)) = Phase::Eating;
+        let report = explore(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(2),
+            &[true; 2],
+            exclusion,
+            Limits::default(),
+        );
+        assert!(!report.verified());
+        assert_eq!(report.violation, Some(Vec::new()), "violated at depth 0");
+    }
+
+    #[test]
+    fn sated_system_deadlocks_quietly() {
+        // Nobody needs to eat: the all-thinking state has no enabled
+        // move; it is the single (expected) "deadlock".
+        let topo = Topology::line(2);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let report = explore(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(2),
+            &[false; 2],
+            exclusion,
+            Limits::default(),
+        );
+        assert!(report.verified());
+        assert_eq!(report.states, 1);
+        assert_eq!(report.deadlocks, 1);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let topo = Topology::ring(4);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let report = explore(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(4),
+            &[true; 4],
+            exclusion,
+            Limits { max_states: 3 },
+        );
+        assert!(report.truncated);
+        assert!(!report.verified());
+    }
+
+    #[test]
+    fn dead_process_takes_no_moves() {
+        let topo = Topology::line(2);
+        let mut initial = SystemState::initial(&ToyDiners, &topo);
+        *initial.local_mut(ProcessId(0)) = Phase::Eating; // dead while eating
+        let mut health = live(2);
+        health[0] = Health::Dead;
+        let report = explore(
+            &ToyDiners,
+            &topo,
+            initial,
+            &health,
+            &[true; 2],
+            exclusion,
+            Limits::default(),
+        );
+        // p1 can only join (enter blocked by the dead eater): states are
+        // {E,T}, {E,H}.
+        assert!(report.verified(), "{report:?}");
+        assert_eq!(report.states, 2);
+    }
+}

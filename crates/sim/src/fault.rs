@@ -1,0 +1,317 @@
+//! Fault model and fault injection plans.
+//!
+//! The paper's fault taxonomy (§1):
+//!
+//! * **Benign crash** — the process silently ceases all operation; other
+//!   processes cannot detect it.
+//! * **Malicious crash** — the process performs a *finite* number of
+//!   arbitrary steps (within its write capability) and then ceases all
+//!   operation, undetectably.
+//! * **Transient fault** — perturbs the state of the system for a finite
+//!   time, leaving it in an arbitrary state (countered by stabilization).
+//! * **Initially dead** — a special case of crash: the process never does
+//!   anything.
+//!
+//! A [`FaultPlan`] schedules any mix of these against a run; the engine
+//! executes the plan deterministically.
+
+use std::fmt;
+
+use crate::graph::ProcessId;
+
+/// Liveness status of a process during a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Executing its program normally.
+    Live,
+    /// In the malicious pre-crash phase: will take `remaining` more
+    /// arbitrary steps, then halt.
+    Byzantine {
+        /// Arbitrary steps left before the process halts.
+        remaining: u32,
+    },
+    /// Halted (benign crash completed, malicious crash completed, or
+    /// initially dead). Its variables remain readable by neighbors.
+    Dead,
+}
+
+impl Health {
+    /// Whether the process still takes steps (live or byzantine).
+    #[inline]
+    pub fn is_active(self) -> bool {
+        !matches!(self, Health::Dead)
+    }
+
+    /// Whether the process executes its *program* (not arbitrary steps).
+    #[inline]
+    pub fn is_live(self) -> bool {
+        matches!(self, Health::Live)
+    }
+
+    /// Whether the process has halted.
+    #[inline]
+    pub fn is_dead(self) -> bool {
+        matches!(self, Health::Dead)
+    }
+}
+
+/// The kind of an injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Benign crash: the target halts immediately.
+    Crash,
+    /// Malicious crash: the target takes `steps` arbitrary steps
+    /// (scheduled fairly among normal activity), then halts.
+    MaliciousCrash {
+        /// Number of arbitrary steps before halting.
+        steps: u32,
+    },
+    /// Transient fault corrupting *every* variable in the system
+    /// (the canonical stabilization challenge).
+    TransientGlobal,
+    /// Transient fault corrupting only the target process's local state.
+    TransientLocal,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Crash => write!(f, "crash"),
+            FaultKind::MaliciousCrash { steps } => write!(f, "malicious-crash({steps})"),
+            FaultKind::TransientGlobal => write!(f, "transient-global"),
+            FaultKind::TransientLocal => write!(f, "transient-local"),
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Engine step at which the fault strikes (before any action fires
+    /// at that step).
+    pub at_step: u64,
+    /// Target process; ignored for [`FaultKind::TransientGlobal`].
+    pub target: ProcessId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults for one run.
+///
+/// # Examples
+///
+/// ```
+/// use diners_sim::fault::FaultPlan;
+/// let plan = FaultPlan::new()
+///     .initially_dead(3)
+///     .crash(100, 0)
+///     .malicious_crash(250, 1, 16)
+///     .transient_global(500);
+/// assert_eq!(plan.events().len(), 3);
+/// assert_eq!(plan.initially_dead_processes(), &[3.into()]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    initially_dead: Vec<ProcessId>,
+    /// Corrupt the entire initial state before step 0 (equivalent to a
+    /// transient fault in the distant past — the stabilization start).
+    random_initial_state: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Alias for [`FaultPlan::new`], reads better at call sites.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Mark a process dead from the very beginning.
+    #[must_use]
+    pub fn initially_dead(mut self, pid: impl Into<ProcessId>) -> Self {
+        let pid = pid.into();
+        if !self.initially_dead.contains(&pid) {
+            self.initially_dead.push(pid);
+            self.initially_dead.sort_unstable();
+        }
+        self
+    }
+
+    /// Schedule a benign crash.
+    #[must_use]
+    pub fn crash(mut self, at_step: u64, pid: impl Into<ProcessId>) -> Self {
+        self.events.push(FaultEvent {
+            at_step,
+            target: pid.into(),
+            kind: FaultKind::Crash,
+        });
+        self.normalize();
+        self
+    }
+
+    /// Schedule a malicious crash: `steps` arbitrary steps, then halt.
+    #[must_use]
+    pub fn malicious_crash(mut self, at_step: u64, pid: impl Into<ProcessId>, steps: u32) -> Self {
+        self.events.push(FaultEvent {
+            at_step,
+            target: pid.into(),
+            kind: FaultKind::MaliciousCrash { steps },
+        });
+        self.normalize();
+        self
+    }
+
+    /// Schedule a global transient fault (corrupts every variable).
+    #[must_use]
+    pub fn transient_global(mut self, at_step: u64) -> Self {
+        self.events.push(FaultEvent {
+            at_step,
+            target: ProcessId(0),
+            kind: FaultKind::TransientGlobal,
+        });
+        self.normalize();
+        self
+    }
+
+    /// Schedule a local transient fault at one process.
+    #[must_use]
+    pub fn transient_local(mut self, at_step: u64, pid: impl Into<ProcessId>) -> Self {
+        self.events.push(FaultEvent {
+            at_step,
+            target: pid.into(),
+            kind: FaultKind::TransientLocal,
+        });
+        self.normalize();
+        self
+    }
+
+    /// Start the run from a fully arbitrary state (the canonical
+    /// stabilization experiment). The corruption is drawn from the
+    /// engine's seeded RNG.
+    #[must_use]
+    pub fn from_arbitrary_state(mut self) -> Self {
+        self.random_initial_state = true;
+        self
+    }
+
+    /// Whether the initial state should be randomized.
+    pub fn starts_arbitrary(&self) -> bool {
+        self.random_initial_state
+    }
+
+    /// All scheduled events, sorted by step.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Processes dead from step 0.
+    pub fn initially_dead_processes(&self) -> &[ProcessId] {
+        &self.initially_dead
+    }
+
+    /// Events striking exactly at `step`.
+    pub fn due_at(&self, step: u64) -> impl Iterator<Item = &FaultEvent> + '_ {
+        // events are sorted by step; a linear scan is fine at our scales.
+        self.events.iter().filter(move |e| e.at_step == step)
+    }
+
+    /// Total number of processes this plan ever kills (initially dead +
+    /// crash + malicious crash targets, deduplicated).
+    pub fn kill_count(&self) -> usize {
+        let mut victims: Vec<ProcessId> = self.initially_dead.clone();
+        for e in &self.events {
+            if matches!(
+                e.kind,
+                FaultKind::Crash | FaultKind::MaliciousCrash { .. }
+            ) {
+                victims.push(e.target);
+            }
+        }
+        victims.sort_unstable();
+        victims.dedup();
+        victims.len()
+    }
+
+    fn normalize(&mut self) {
+        self.events.sort_by_key(|e| (e.at_step, e.target, kind_rank(e.kind)));
+    }
+}
+
+fn kind_rank(k: FaultKind) -> u8 {
+    match k {
+        FaultKind::TransientGlobal => 0,
+        FaultKind::TransientLocal => 1,
+        FaultKind::MaliciousCrash { .. } => 2,
+        FaultKind::Crash => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_predicates() {
+        assert!(Health::Live.is_active());
+        assert!(Health::Live.is_live());
+        assert!(!Health::Live.is_dead());
+        assert!(Health::Byzantine { remaining: 2 }.is_active());
+        assert!(!Health::Byzantine { remaining: 2 }.is_live());
+        assert!(Health::Dead.is_dead());
+        assert!(!Health::Dead.is_active());
+    }
+
+    #[test]
+    fn plan_sorts_events_by_step() {
+        let p = FaultPlan::new().crash(50, 1).crash(10, 2).transient_global(30);
+        let steps: Vec<u64> = p.events().iter().map(|e| e.at_step).collect();
+        assert_eq!(steps, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn due_at_filters() {
+        let p = FaultPlan::new().crash(10, 1).crash(10, 2).crash(20, 3);
+        assert_eq!(p.due_at(10).count(), 2);
+        assert_eq!(p.due_at(15).count(), 0);
+        assert_eq!(p.due_at(20).count(), 1);
+    }
+
+    #[test]
+    fn initially_dead_dedups_and_sorts() {
+        let p = FaultPlan::new().initially_dead(4).initially_dead(1).initially_dead(4);
+        assert_eq!(
+            p.initially_dead_processes(),
+            &[ProcessId(1), ProcessId(4)]
+        );
+    }
+
+    #[test]
+    fn kill_count_dedups_across_kinds() {
+        let p = FaultPlan::new()
+            .initially_dead(0)
+            .crash(5, 1)
+            .malicious_crash(9, 1, 4)
+            .transient_global(3);
+        assert_eq!(p.kill_count(), 2);
+    }
+
+    #[test]
+    fn arbitrary_start_flag() {
+        assert!(!FaultPlan::none().starts_arbitrary());
+        assert!(FaultPlan::new().from_arbitrary_state().starts_arbitrary());
+    }
+
+    #[test]
+    fn fault_kind_display() {
+        assert_eq!(FaultKind::Crash.to_string(), "crash");
+        assert_eq!(
+            FaultKind::MaliciousCrash { steps: 7 }.to_string(),
+            "malicious-crash(7)"
+        );
+        assert_eq!(FaultKind::TransientGlobal.to_string(), "transient-global");
+    }
+}

@@ -1,0 +1,642 @@
+//! Conflict-graph topologies.
+//!
+//! The dining-philosophers problem is defined over an arbitrary symmetric
+//! *neighbor relation* between processes. [`Topology`] is that relation,
+//! together with the derived data the algorithm and its analysis need:
+//! adjacency lists, per-edge indices, all-pairs BFS distances and the graph
+//! diameter (the paper's constant `D`, assumed known to every process).
+//!
+//! Constructors are provided for all the standard experiment families
+//! (ring, line, grid, star, complete, binary tree, random connected graphs)
+//! as well as from explicit edge lists.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::rng;
+
+/// Identifier of a process: a dense index in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// Identifier of an undirected edge: a dense index into [`Topology::edges`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An immutable, connected, simple undirected graph over processes
+/// `0..n`, with precomputed distances and diameter.
+///
+/// # Examples
+///
+/// ```
+/// use diners_sim::graph::Topology;
+/// let t = Topology::ring(6);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.diameter(), 3);
+/// assert!(t.are_neighbors(0.into(), 5.into()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n: usize,
+    /// Sorted adjacency list per process.
+    adj: Vec<Vec<ProcessId>>,
+    /// Undirected edges as `(lo, hi)` pairs with `lo < hi`, sorted.
+    edges: Vec<(ProcessId, ProcessId)>,
+    /// `edge_of[p]` maps a neighbor slot of `p` to the edge id.
+    edge_of: Vec<Vec<EdgeId>>,
+    /// All-pairs hop distances.
+    dist: Vec<Vec<u32>>,
+    diameter: u32,
+    name: String,
+}
+
+impl Topology {
+    /// Build a topology from an explicit edge list.
+    ///
+    /// Self-loops and duplicate edges are rejected; the graph must be
+    /// connected and non-empty (a single isolated process is allowed and
+    /// has diameter 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] when the input is not a simple connected
+    /// graph over `0..n`.
+    pub fn from_edges(
+        n: usize,
+        edge_list: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, TopologyError> {
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let mut set = BTreeSet::new();
+        for (a, b) in edge_list {
+            if a >= n || b >= n {
+                return Err(TopologyError::OutOfRange { a, b, n });
+            }
+            if a == b {
+                return Err(TopologyError::SelfLoop(a));
+            }
+            let e = (a.min(b), a.max(b));
+            if !set.insert(e) {
+                return Err(TopologyError::Duplicate { a: e.0, b: e.1 });
+            }
+        }
+        let edges: Vec<(ProcessId, ProcessId)> = set
+            .iter()
+            .map(|&(a, b)| (ProcessId(a), ProcessId(b)))
+            .collect();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adj[a.0].push(b);
+            adj[b.0].push(a);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        let mut edge_of = vec![Vec::new(); n];
+        for (p, list) in adj.iter().enumerate() {
+            for &q in list {
+                let key = (ProcessId(p.min(q.0)), ProcessId(p.max(q.0)));
+                let eid = edges.binary_search(&key).expect("edge present");
+                edge_of[p].push(EdgeId(eid));
+            }
+        }
+        let dist = all_pairs_bfs(n, &adj);
+        let mut diameter = 0;
+        for row in &dist {
+            for &d in row {
+                if d == u32::MAX {
+                    return Err(TopologyError::Disconnected);
+                }
+                diameter = diameter.max(d);
+            }
+        }
+        Ok(Topology {
+            n,
+            adj,
+            edges,
+            edge_of,
+            dist,
+            diameter,
+            name: format!("custom(n={n})"),
+        })
+    }
+
+    /// A cycle `0 - 1 - ... - (n-1) - 0`. Requires `n >= 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "ring requires at least 3 processes");
+        let mut t = Self::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+            .expect("ring is a valid topology");
+        t.name = format!("ring(n={n})");
+        t
+    }
+
+    /// A path `0 - 1 - ... - (n-1)`. Requires `n >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn line(n: usize) -> Self {
+        assert!(n >= 1, "line requires at least 1 process");
+        let mut t = Self::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+            .expect("line is a valid topology");
+        t.name = format!("line(n={n})");
+        t
+    }
+
+    /// A `w x h` grid (4-neighborhood). Requires `w >= 1 && h >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(w: usize, h: usize) -> Self {
+        assert!(w >= 1 && h >= 1, "grid requires positive dimensions");
+        let idx = |x: usize, y: usize| y * w + x;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((idx(x, y), idx(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((idx(x, y), idx(x, y + 1)));
+                }
+            }
+        }
+        let mut t = Self::from_edges(w * h, edges).expect("grid is a valid topology");
+        t.name = format!("grid({w}x{h})");
+        t
+    }
+
+    /// A star: process 0 adjacent to every other process. Requires `n >= 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "star requires at least 2 processes");
+        let mut t =
+            Self::from_edges(n, (1..n).map(|i| (0, i))).expect("star is a valid topology");
+        t.name = format!("star(n={n})");
+        t
+    }
+
+    /// The complete graph on `n` processes. Requires `n >= 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn complete(n: usize) -> Self {
+        assert!(n >= 2, "complete graph requires at least 2 processes");
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push((a, b));
+            }
+        }
+        let mut t = Self::from_edges(n, edges).expect("complete graph is a valid topology");
+        t.name = format!("complete(n={n})");
+        t
+    }
+
+    /// A complete binary tree with `n` nodes (heap layout: children of `i`
+    /// are `2i+1`, `2i+2`). Requires `n >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn binary_tree(n: usize) -> Self {
+        assert!(n >= 1, "tree requires at least 1 process");
+        let mut edges = Vec::new();
+        for i in 1..n {
+            edges.push(((i - 1) / 2, i));
+        }
+        let mut t = Self::from_edges(n, edges).expect("tree is a valid topology");
+        t.name = format!("binary_tree(n={n})");
+        t
+    }
+
+    /// A random connected graph: a random spanning tree plus each remaining
+    /// pair independently with probability `p`. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `p` is not in `[0, 1]`.
+    pub fn random_connected(n: usize, p: f64, seed: u64) -> Self {
+        assert!(n >= 1, "random graph requires at least 1 process");
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        let mut r = rng::rng(rng::subseed(seed, 0xD1CE));
+        let mut edges = BTreeSet::new();
+        // Random spanning tree: attach each node to a uniformly random
+        // earlier node (random recursive tree).
+        for i in 1..n {
+            let j = r.gen_range(0..i);
+            edges.insert((j, i));
+        }
+        for a in 0..n {
+            for b in a + 1..n {
+                if r.gen_bool(p) {
+                    edges.insert((a, b));
+                }
+            }
+        }
+        let mut t = Self::from_edges(n, edges).expect("random graph is a valid topology");
+        t.name = format!("random(n={n},p={p},seed={seed})");
+        t
+    }
+
+    /// Human-readable name of the topology family and parameters.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Override the topology's display name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the topology has no processes (never true for a
+    /// successfully constructed value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterator over all process ids.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.n).map(ProcessId)
+    }
+
+    /// Sorted neighbors of `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn neighbors(&self, p: ProcessId) -> &[ProcessId] {
+        &self.adj[p.0]
+    }
+
+    /// Degree of `p`.
+    #[inline]
+    pub fn degree(&self, p: ProcessId) -> usize {
+        self.adj[p.0].len()
+    }
+
+    /// Maximum degree over all processes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|p| self.adj[p].len()).max().unwrap_or(0)
+    }
+
+    /// All undirected edges as `(lo, hi)` pairs, sorted.
+    #[inline]
+    pub fn edges(&self) -> &[(ProcessId, ProcessId)] {
+        &self.edges
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The endpoints of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (ProcessId, ProcessId) {
+        self.edges[e.0]
+    }
+
+    /// The edge id joining neighbors `p` and `q`, if any.
+    pub fn edge_between(&self, p: ProcessId, q: ProcessId) -> Option<EdgeId> {
+        let key = (ProcessId(p.0.min(q.0)), ProcessId(p.0.max(q.0)));
+        self.edges.binary_search(&key).ok().map(EdgeId)
+    }
+
+    /// Edge ids incident to `p`, parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn incident_edges(&self, p: ProcessId) -> &[EdgeId] {
+        &self.edge_of[p.0]
+    }
+
+    /// Whether `p` and `q` are joined by an edge.
+    pub fn are_neighbors(&self, p: ProcessId, q: ProcessId) -> bool {
+        self.edge_between(p, q).is_some()
+    }
+
+    /// Hop distance between `p` and `q`.
+    #[inline]
+    pub fn distance(&self, p: ProcessId, q: ProcessId) -> u32 {
+        self.dist[p.0][q.0]
+    }
+
+    /// Minimum distance from `p` to any process in `set`; `None` if the
+    /// set is empty.
+    pub fn distance_to_set<'a>(
+        &self,
+        p: ProcessId,
+        set: impl IntoIterator<Item = &'a ProcessId>,
+    ) -> Option<u32> {
+        set.into_iter().map(|&q| self.distance(p, q)).min()
+    }
+
+    /// The graph diameter — the paper's constant `D`.
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        self.diameter
+    }
+
+    /// The neighbor-slot index of `q` in `p`'s adjacency list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a neighbor of `p`.
+    pub fn slot_of(&self, p: ProcessId, q: ProcessId) -> usize {
+        self.adj[p.0]
+            .binary_search(&q)
+            .unwrap_or_else(|_| panic!("{q} is not a neighbor of {p}"))
+    }
+}
+
+/// Error constructing a [`Topology`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No processes.
+    Empty,
+    /// An edge endpoint is not in `0..n`.
+    OutOfRange {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+        /// Number of processes.
+        n: usize,
+    },
+    /// An edge joins a process to itself.
+    SelfLoop(usize),
+    /// The same undirected edge appears twice.
+    Duplicate {
+        /// Lower endpoint.
+        a: usize,
+        /// Higher endpoint.
+        b: usize,
+    },
+    /// The graph is not connected.
+    Disconnected,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology has no processes"),
+            TopologyError::OutOfRange { a, b, n } => {
+                write!(f, "edge ({a},{b}) out of range for {n} processes")
+            }
+            TopologyError::SelfLoop(p) => write!(f, "self-loop at process {p}"),
+            TopologyError::Duplicate { a, b } => write!(f, "duplicate edge ({a},{b})"),
+            TopologyError::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+fn all_pairs_bfs(n: usize, adj: &[Vec<ProcessId>]) -> Vec<Vec<u32>> {
+    let mut dist = vec![vec![u32::MAX; n]; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        let row = &mut dist[s];
+        row[s] = 0;
+        queue.clear();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            let du = row[u];
+            for &v in &adj[u] {
+                if row[v.0] == u32::MAX {
+                    row[v.0] = du + 1;
+                    queue.push_back(v.0);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_metrics() {
+        let t = Topology::ring(8);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.edge_count(), 8);
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.degree(ProcessId(0)), 2);
+        assert_eq!(t.distance(ProcessId(0), ProcessId(4)), 4);
+        assert_eq!(t.distance(ProcessId(0), ProcessId(7)), 1);
+    }
+
+    #[test]
+    fn line_metrics() {
+        let t = Topology::line(5);
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.degree(ProcessId(0)), 1);
+        assert_eq!(t.degree(ProcessId(2)), 2);
+        assert_eq!(t.distance(ProcessId(0), ProcessId(4)), 4);
+    }
+
+    #[test]
+    fn single_process_line() {
+        let t = Topology::line(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.diameter(), 0);
+    }
+
+    #[test]
+    fn grid_metrics() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.edge_count(), 12);
+        assert_eq!(t.diameter(), 4);
+        // Center has degree 4.
+        assert_eq!(t.degree(ProcessId(4)), 4);
+    }
+
+    #[test]
+    fn star_metrics() {
+        let t = Topology::star(6);
+        assert_eq!(t.diameter(), 2);
+        assert_eq!(t.degree(ProcessId(0)), 5);
+        assert_eq!(t.degree(ProcessId(3)), 1);
+    }
+
+    #[test]
+    fn complete_metrics() {
+        let t = Topology::complete(5);
+        assert_eq!(t.edge_count(), 10);
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn binary_tree_metrics() {
+        let t = Topology::binary_tree(7);
+        assert_eq!(t.edge_count(), 6);
+        assert_eq!(t.diameter(), 4); // leaf to leaf through root
+        assert_eq!(t.degree(ProcessId(0)), 2);
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        for seed in 0..20 {
+            let t = Topology::random_connected(16, 0.1, seed);
+            assert_eq!(t.len(), 16);
+            // connectivity is established by successful construction
+            let t2 = Topology::random_connected(16, 0.1, seed);
+            assert_eq!(t.edges(), t2.edges());
+        }
+    }
+
+    #[test]
+    fn random_connected_p_zero_is_a_tree() {
+        let t = Topology::random_connected(12, 0.0, 3);
+        assert_eq!(t.edge_count(), 11);
+    }
+
+    #[test]
+    fn from_edges_rejects_bad_input() {
+        assert_eq!(
+            Topology::from_edges(0, []).unwrap_err(),
+            TopologyError::Empty
+        );
+        assert_eq!(
+            Topology::from_edges(2, [(0, 0)]).unwrap_err(),
+            TopologyError::SelfLoop(0)
+        );
+        assert_eq!(
+            Topology::from_edges(2, [(0, 1), (1, 0)]).unwrap_err(),
+            TopologyError::Duplicate { a: 0, b: 1 }
+        );
+        assert_eq!(
+            Topology::from_edges(2, [(0, 5)]).unwrap_err(),
+            TopologyError::OutOfRange { a: 0, b: 5, n: 2 }
+        );
+        assert_eq!(
+            Topology::from_edges(3, [(0, 1)]).unwrap_err(),
+            TopologyError::Disconnected
+        );
+    }
+
+    #[test]
+    fn edge_lookup_roundtrip() {
+        let t = Topology::ring(5);
+        for &(a, b) in t.edges() {
+            let e = t.edge_between(a, b).unwrap();
+            assert_eq!(t.endpoints(e), (a, b));
+            assert_eq!(t.edge_between(b, a), Some(e));
+        }
+        assert_eq!(t.edge_between(ProcessId(0), ProcessId(2)), None);
+    }
+
+    #[test]
+    fn incident_edges_parallel_to_neighbors() {
+        let t = Topology::grid(3, 2);
+        for p in t.processes() {
+            let ns = t.neighbors(p);
+            let es = t.incident_edges(p);
+            assert_eq!(ns.len(), es.len());
+            for (q, e) in ns.iter().zip(es) {
+                let (a, b) = t.endpoints(*e);
+                assert!((a == p && b == *q) || (a == *q && b == p));
+            }
+        }
+    }
+
+    #[test]
+    fn slot_of_matches_neighbor_order() {
+        let t = Topology::star(5);
+        let hub = ProcessId(0);
+        for (i, &q) in t.neighbors(hub).iter().enumerate() {
+            assert_eq!(t.slot_of(hub, q), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a neighbor")]
+    fn slot_of_panics_for_non_neighbor() {
+        let t = Topology::line(4);
+        t.slot_of(ProcessId(0), ProcessId(3));
+    }
+
+    #[test]
+    fn distance_to_set() {
+        let t = Topology::line(6);
+        let dead = [ProcessId(0)];
+        assert_eq!(t.distance_to_set(ProcessId(3), dead.iter()), Some(3));
+        assert_eq!(t.distance_to_set(ProcessId(3), [].iter()), None);
+    }
+
+    #[test]
+    fn diameter_matches_bfs_extremes() {
+        let t = Topology::binary_tree(15);
+        let mut best = 0;
+        for a in t.processes() {
+            for b in t.processes() {
+                best = best.max(t.distance(a, b));
+            }
+        }
+        assert_eq!(best, t.diameter());
+    }
+}

@@ -1,0 +1,72 @@
+//! Guarded-command shared-memory simulation substrate for the
+//! malicious-crash dining-philosophers reproduction.
+//!
+//! This crate implements the computation model of Nesterenko & Arora,
+//! *Dining Philosophers that Tolerate Malicious Crashes* (ICDCS 2002),
+//! §2: processes joined by a symmetric neighbor relation, guarded-command
+//! actions over local and shared edge variables, weakly fair serial
+//! execution, and the paper's fault taxonomy (benign crash, malicious
+//! crash, transient fault, initially-dead processes).
+//!
+//! The paper's algorithm itself lives in the `diners-core` crate; this
+//! crate is algorithm-agnostic and is also used by the baseline and
+//! message-passing crates.
+//!
+//! # Quick tour
+//!
+//! * [`graph::Topology`] — the conflict graph, with distances and the
+//!   diameter constant `D`.
+//! * [`algorithm::Algorithm`] / [`algorithm::DinerAlgorithm`] — a
+//!   guarded-command program: action kinds, guards over a neighborhood
+//!   [`algorithm::View`], commands as atomic [`algorithm::Write`] sets.
+//! * [`scheduler`] — weakly fair daemons: round-robin, least-recent,
+//!   random, bounded-adversarial, scripted.
+//! * [`fault::FaultPlan`] — deterministic fault schedules, including the
+//!   paper's malicious crash (k arbitrary steps, then halt).
+//! * [`engine::Engine`] — deterministic interleaving execution with
+//!   service metrics and an exclusion monitor.
+//! * [`predicate`] — named global predicates and convergence detection.
+//!
+//! # Example
+//!
+//! ```
+//! use diners_sim::engine::Engine;
+//! use diners_sim::fault::FaultPlan;
+//! use diners_sim::graph::Topology;
+//! use diners_sim::scheduler::RandomScheduler;
+//! use diners_sim::toy::ToyDiners;
+//!
+//! let mut engine = Engine::builder(ToyDiners, Topology::ring(8))
+//!     .scheduler(RandomScheduler::new(42))
+//!     .faults(FaultPlan::new().crash(500, 3))
+//!     .seed(42)
+//!     .build();
+//! engine.run(5_000);
+//! assert_eq!(engine.metrics().violation_step_count(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithm;
+pub mod engine;
+pub mod explore;
+pub mod fault;
+pub mod graph;
+pub mod metrics;
+pub mod predicate;
+pub mod rng;
+pub mod scheduler;
+pub mod sync;
+pub mod table;
+pub mod toy;
+pub mod trace;
+pub mod workload;
+
+pub use algorithm::{ActionId, ActionKind, Algorithm, DinerAlgorithm, Move, Phase, SystemState, View, Write};
+pub use engine::{Engine, RunSummary, StepOutcome};
+pub use fault::{FaultKind, FaultPlan, Health};
+pub use graph::{EdgeId, ProcessId, Topology};
+pub use predicate::{Snapshot, StatePredicate};
+pub use scheduler::Scheduler;
+pub use workload::Workload;

@@ -1,0 +1,517 @@
+//! Schedulers (daemons) for the interleaving model.
+//!
+//! A computation in the paper's model is a *weakly fair* maximal sequence
+//! of action executions: if an action is enabled in all but finitely many
+//! states of an infinite computation it is executed infinitely often. The
+//! engine enumerates the enabled action instances each step; a
+//! [`Scheduler`] picks which one fires.
+//!
+//! Provided daemons:
+//!
+//! * [`RoundRobinScheduler`] — cycles over processes, rotating among each
+//!   process's actions; weakly fair by construction.
+//! * [`LeastRecentScheduler`] — always fires the enabled move that has gone
+//!   longest without executing; strongly fair.
+//! * [`RandomScheduler`] — uniform over enabled moves; weakly fair with
+//!   probability 1.
+//! * [`AdversarialScheduler`] — pursues a hostile policy but is forced by a
+//!   fairness bound `B`: any move continuously enabled for `B` picks fires.
+//! * [`ScriptedScheduler`] — replays an exact schedule (used to reproduce
+//!   the paper's Figure 2 computation).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::algorithm::{ActionId, Move};
+use crate::graph::ProcessId;
+use crate::rng;
+
+/// An enabled move together with how many consecutive steps (including the
+/// current one) it has been continuously enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnabledMove {
+    /// The move.
+    pub mv: Move,
+    /// Continuous enabledness age, in steps (`1` = newly enabled).
+    pub age: u64,
+}
+
+/// A daemon: picks which enabled move fires each step.
+///
+/// Implementations must return an index into `enabled`, which is never
+/// empty when `pick` is called.
+pub trait Scheduler {
+    /// Choose one of the enabled moves.
+    fn pick(&mut self, step: u64, enabled: &[EnabledMove]) -> usize;
+
+    /// Scheduler name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Cycles over processes; within a process, rotates which enabled action
+/// fires. Weakly fair: a continuously enabled action is fired within
+/// `n * max_actions` steps.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+    /// Per-process rotation offset among its action instances.
+    rotation: HashMap<ProcessId, usize>,
+}
+
+impl RoundRobinScheduler {
+    /// A fresh round-robin daemon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn pick(&mut self, _step: u64, enabled: &[EnabledMove]) -> usize {
+        // Find the enabled process closest at-or-after the cursor.
+        let max_pid = enabled.iter().map(|m| m.mv.pid.index()).max().unwrap_or(0);
+        let modulus = max_pid + 1;
+        let best_pid = enabled
+            .iter()
+            .map(|m| m.mv.pid.index())
+            .min_by_key(|&p| (p + modulus - self.cursor % modulus) % modulus)
+            .expect("pick called with enabled moves");
+        let of_pid: Vec<usize> = enabled
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.mv.pid.index() == best_pid)
+            .map(|(i, _)| i)
+            .collect();
+        let rot = self.rotation.entry(ProcessId(best_pid)).or_insert(0);
+        let choice = of_pid[*rot % of_pid.len()];
+        *rot = rot.wrapping_add(1);
+        self.cursor = best_pid + 1;
+        choice
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+/// Fires the enabled move whose `(pid, action)` executed least recently
+/// (never-executed moves first, in `(pid, action)` order). Strongly fair.
+#[derive(Clone, Debug, Default)]
+pub struct LeastRecentScheduler {
+    last_exec: HashMap<Move, u64>,
+}
+
+impl LeastRecentScheduler {
+    /// A fresh least-recently-served daemon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for LeastRecentScheduler {
+    fn pick(&mut self, step: u64, enabled: &[EnabledMove]) -> usize {
+        let (i, m) = enabled
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| {
+                (
+                    self.last_exec.get(&m.mv).copied().unwrap_or(0),
+                    m.mv.pid,
+                    m.mv.action,
+                )
+            })
+            .expect("pick called with enabled moves");
+        self.last_exec.insert(m.mv, step + 1);
+        i
+    }
+
+    fn name(&self) -> &str {
+        "least-recent"
+    }
+}
+
+/// Picks uniformly at random among enabled moves. Deterministic in its
+/// seed; weakly fair with probability 1.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// A random daemon with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: rng::rng(rng::subseed(seed, 0x5EED)),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, _step: u64, enabled: &[EnabledMove]) -> usize {
+        self.rng.gen_range(0..enabled.len())
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Hostile selection policies for [`AdversarialScheduler`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Adversary {
+    /// Avoid firing the given action kind for as long as fairness allows
+    /// (e.g. delay every `exit` to stretch eating sections).
+    AvoidKind(usize),
+    /// Avoid scheduling the given process for as long as fairness allows.
+    StarveProcess(ProcessId),
+    /// Prefer firing the given action kind whenever it is enabled.
+    PreferKind(usize),
+    /// Always pick the *newest*-enabled move (LIFO), starving old moves
+    /// up to the fairness bound.
+    Newest,
+    /// Strict kind preference: fire a move of the earliest listed kind
+    /// that has any enabled instance; kinds not listed are a last
+    /// resort. (E.g. `[LEAVE, JOIN]` realizes the paper's cycle-livelock
+    /// schedule: keep everyone flapping between hungry and thinking and
+    /// never let an `enter` fire voluntarily.)
+    KindOrder(Vec<usize>),
+}
+
+/// A hostile but weakly fair daemon: follows its [`Adversary`] policy
+/// except that any move continuously enabled for `bound` steps is fired
+/// immediately (oldest first). With `bound = B` every computation it
+/// produces is weakly fair.
+#[derive(Clone, Debug)]
+pub struct AdversarialScheduler {
+    policy: Adversary,
+    bound: u64,
+    rng: StdRng,
+}
+
+impl AdversarialScheduler {
+    /// A hostile daemon with the given policy and fairness bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` (a zero bound could never fire anything).
+    pub fn new(policy: Adversary, bound: u64, seed: u64) -> Self {
+        assert!(bound > 0, "fairness bound must be positive");
+        AdversarialScheduler {
+            policy,
+            bound,
+            rng: rng::rng(rng::subseed(seed, 0xADE0)),
+        }
+    }
+}
+
+impl Scheduler for AdversarialScheduler {
+    fn pick(&mut self, _step: u64, enabled: &[EnabledMove]) -> usize {
+        // Fairness override: fire the oldest overdue move.
+        if let Some((i, _)) = enabled
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.age >= self.bound)
+            .max_by_key(|(_, m)| m.age)
+        {
+            return i;
+        }
+        let candidates: Vec<usize> = match &self.policy {
+            Adversary::AvoidKind(k) => {
+                let avoid: Vec<usize> = enabled
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.mv.action.kind != *k)
+                    .map(|(i, _)| i)
+                    .collect();
+                if avoid.is_empty() {
+                    (0..enabled.len()).collect()
+                } else {
+                    avoid
+                }
+            }
+            Adversary::StarveProcess(p) => {
+                let avoid: Vec<usize> = enabled
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.mv.pid != *p)
+                    .map(|(i, _)| i)
+                    .collect();
+                if avoid.is_empty() {
+                    (0..enabled.len()).collect()
+                } else {
+                    avoid
+                }
+            }
+            Adversary::PreferKind(k) => {
+                let pref: Vec<usize> = enabled
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.mv.action.kind == *k)
+                    .map(|(i, _)| i)
+                    .collect();
+                if pref.is_empty() {
+                    (0..enabled.len()).collect()
+                } else {
+                    pref
+                }
+            }
+            Adversary::Newest => {
+                let min_age = enabled.iter().map(|m| m.age).min().unwrap_or(1);
+                enabled
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.age == min_age)
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+            Adversary::KindOrder(order) => {
+                let mut chosen: Vec<usize> = Vec::new();
+                for &k in order {
+                    chosen = enabled
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.mv.action.kind == k)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !chosen.is_empty() {
+                        break;
+                    }
+                }
+                if chosen.is_empty() {
+                    (0..enabled.len()).collect()
+                } else {
+                    chosen
+                }
+            }
+        };
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    fn name(&self) -> &str {
+        "adversarial"
+    }
+}
+
+/// Replays an exact schedule of moves; panics if a scripted move is not
+/// enabled when its turn comes (so scenario tests fail loudly), and after
+/// the script is exhausted behaves like [`LeastRecentScheduler`].
+#[derive(Clone, Debug)]
+pub struct ScriptedScheduler {
+    script: Vec<Move>,
+    pos: usize,
+    fallback: LeastRecentScheduler,
+}
+
+impl ScriptedScheduler {
+    /// Replay exactly `script`, then fall back to fair scheduling.
+    pub fn new(script: Vec<Move>) -> Self {
+        ScriptedScheduler {
+            script,
+            pos: 0,
+            fallback: LeastRecentScheduler::new(),
+        }
+    }
+
+    /// How many scripted moves have fired so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the whole script has been replayed.
+    pub fn finished(&self) -> bool {
+        self.pos >= self.script.len()
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn pick(&mut self, step: u64, enabled: &[EnabledMove]) -> usize {
+        if self.pos < self.script.len() {
+            let want = self.script[self.pos];
+            let found = enabled.iter().position(|m| m.mv == want);
+            match found {
+                Some(i) => {
+                    self.pos += 1;
+                    i
+                }
+                None => panic!(
+                    "scripted move #{} {:?} is not enabled at step {step}; enabled: {:?}",
+                    self.pos,
+                    want,
+                    enabled.iter().map(|m| m.mv).collect::<Vec<_>>()
+                ),
+            }
+        } else {
+            self.fallback.pick(step, enabled)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+/// Convenience constructor for a [`Move`].
+pub fn mv(pid: usize, kind: usize) -> Move {
+    Move {
+        pid: ProcessId(pid),
+        action: ActionId::global(kind),
+    }
+}
+
+/// Convenience constructor for a per-neighbor [`Move`].
+pub fn mv_slot(pid: usize, kind: usize, slot: usize) -> Move {
+    Move {
+        pid: ProcessId(pid),
+        action: ActionId::at_slot(kind, slot),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moves(pids: &[usize]) -> Vec<EnabledMove> {
+        pids.iter()
+            .map(|&p| EnabledMove {
+                mv: mv(p, 0),
+                age: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_processes() {
+        let mut s = RoundRobinScheduler::new();
+        let e = moves(&[0, 1, 2]);
+        let picks: Vec<usize> = (0..6).map(|st| s.pick(st, &e)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_rotates_actions_within_a_process() {
+        let mut s = RoundRobinScheduler::new();
+        let e = vec![
+            EnabledMove { mv: mv(0, 0), age: 1 },
+            EnabledMove { mv: mv(0, 1), age: 1 },
+        ];
+        let a = s.pick(0, &e);
+        let b = s.pick(1, &e);
+        assert_ne!(a, b, "successive picks rotate between the two actions");
+    }
+
+    #[test]
+    fn least_recent_serves_everything() {
+        let mut s = LeastRecentScheduler::new();
+        let e = moves(&[2, 0, 1]);
+        let mut served = std::collections::HashSet::new();
+        for st in 0..3 {
+            served.insert(e[s.pick(st, &e)].mv.pid);
+        }
+        assert_eq!(served.len(), 3);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let e = moves(&[0, 1, 2, 3]);
+        let a: Vec<usize> = {
+            let mut s = RandomScheduler::new(3);
+            (0..16).map(|st| s.pick(st, &e)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut s = RandomScheduler::new(3);
+            (0..16).map(|st| s.pick(st, &e)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn adversary_avoids_kind_until_forced() {
+        let mut s = AdversarialScheduler::new(Adversary::AvoidKind(1), 5, 0);
+        let e = vec![
+            EnabledMove { mv: mv(0, 0), age: 1 },
+            EnabledMove { mv: mv(1, 1), age: 1 },
+        ];
+        for st in 0..10 {
+            assert_eq!(s.pick(st, &e), 0, "avoids kind 1 while fairness allows");
+        }
+        let overdue = vec![
+            EnabledMove { mv: mv(0, 0), age: 1 },
+            EnabledMove { mv: mv(1, 1), age: 5 },
+        ];
+        assert_eq!(s.pick(10, &overdue), 1, "fairness bound forces kind 1");
+    }
+
+    #[test]
+    fn adversary_starves_process_until_forced() {
+        let mut s = AdversarialScheduler::new(Adversary::StarveProcess(ProcessId(0)), 3, 1);
+        let e = moves(&[0, 1]);
+        assert_eq!(e[s.pick(0, &e)].mv.pid, ProcessId(1));
+        let overdue = vec![
+            EnabledMove { mv: mv(0, 0), age: 3 },
+            EnabledMove { mv: mv(1, 0), age: 1 },
+        ];
+        assert_eq!(overdue[s.pick(1, &overdue)].mv.pid, ProcessId(0));
+    }
+
+    #[test]
+    fn adversary_prefers_kind() {
+        let mut s = AdversarialScheduler::new(Adversary::PreferKind(2), 100, 2);
+        let e = vec![
+            EnabledMove { mv: mv(0, 0), age: 1 },
+            EnabledMove { mv: mv(1, 2), age: 1 },
+        ];
+        assert_eq!(s.pick(0, &e), 1);
+    }
+
+    #[test]
+    fn adversary_kind_order_prefers_earliest_listed() {
+        let mut s = AdversarialScheduler::new(Adversary::KindOrder(vec![1, 0]), 100, 5);
+        let e = vec![
+            EnabledMove { mv: mv(0, 0), age: 1 },
+            EnabledMove { mv: mv(1, 1), age: 1 },
+            EnabledMove { mv: mv(2, 2), age: 1 },
+        ];
+        assert_eq!(s.pick(0, &e), 1, "kind 1 listed first");
+        let only_unlisted = vec![EnabledMove { mv: mv(2, 2), age: 1 }];
+        assert_eq!(s.pick(1, &only_unlisted), 0, "unlisted kinds as last resort");
+    }
+
+    #[test]
+    fn adversary_newest_picks_min_age() {
+        let mut s = AdversarialScheduler::new(Adversary::Newest, 100, 4);
+        let e = vec![
+            EnabledMove { mv: mv(0, 0), age: 9 },
+            EnabledMove { mv: mv(1, 0), age: 1 },
+        ];
+        assert_eq!(s.pick(0, &e), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fairness bound must be positive")]
+    fn adversary_rejects_zero_bound() {
+        AdversarialScheduler::new(Adversary::Newest, 0, 0);
+    }
+
+    #[test]
+    fn scripted_replays_and_falls_back() {
+        let mut s = ScriptedScheduler::new(vec![mv(1, 0), mv(0, 0)]);
+        let e = moves(&[0, 1]);
+        assert_eq!(s.pick(0, &e), 1);
+        assert!(!s.finished());
+        assert_eq!(s.pick(1, &e), 0);
+        assert!(s.finished());
+        // Fallback keeps going.
+        let _ = s.pick(2, &e);
+        assert_eq!(s.position(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enabled")]
+    fn scripted_panics_on_unavailable_move() {
+        let mut s = ScriptedScheduler::new(vec![mv(5, 0)]);
+        let e = moves(&[0, 1]);
+        s.pick(0, &e);
+    }
+}

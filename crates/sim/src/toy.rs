@@ -1,0 +1,149 @@
+//! A minimal reference diner used by the substrate's own tests and
+//! benches.
+//!
+//! `ToyDiners` is *not* the paper's algorithm (that lives in the
+//! `diners-core` crate): it is the simplest possible id-priority diner —
+//! a hungry process eats when no neighbor is eating and no hungry
+//! neighbor has a smaller id. It is safe under the serial daemon from
+//! legitimate states, but it is neither stabilizing in general nor
+//! failure-local (a crashed eating process starves its whole neighborhood
+//! and, transitively through id order, arbitrarily distant processes),
+//! which also makes it a useful contrast in examples.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::algorithm::{
+    ActionId, ActionKind, Algorithm, DinerAlgorithm, Phase, View, Write,
+};
+use crate::graph::{EdgeId, ProcessId, Topology};
+
+/// The simplest id-priority diner; see the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ToyDiners;
+
+/// Action kind index of `join`.
+pub const TOY_JOIN: usize = 0;
+/// Action kind index of `enter`.
+pub const TOY_ENTER: usize = 1;
+/// Action kind index of `exit`.
+pub const TOY_EXIT: usize = 2;
+
+const KINDS: &[ActionKind] = &[
+    ActionKind {
+        name: "join",
+        per_neighbor: false,
+    },
+    ActionKind {
+        name: "enter",
+        per_neighbor: false,
+    },
+    ActionKind {
+        name: "exit",
+        per_neighbor: false,
+    },
+];
+
+impl Algorithm for ToyDiners {
+    type Local = Phase;
+    type Edge = ();
+
+    fn name(&self) -> &str {
+        "toy-id-priority"
+    }
+
+    fn kinds(&self) -> &[ActionKind] {
+        KINDS
+    }
+
+    fn init_local(&self, _topo: &Topology, _p: ProcessId) -> Phase {
+        Phase::Thinking
+    }
+
+    fn init_edge(&self, _topo: &Topology, _e: EdgeId) {}
+
+    fn enabled(&self, view: &View<'_, Self>, action: ActionId) -> bool {
+        let me = *view.local();
+        match action.kind {
+            TOY_JOIN => me == Phase::Thinking && view.needs(),
+            TOY_ENTER => {
+                me == Phase::Hungry
+                    && view.neighbors().iter().all(|&q| {
+                        let ph = *view.neighbor_local(q);
+                        ph != Phase::Eating && !(ph == Phase::Hungry && q < view.pid())
+                    })
+            }
+            TOY_EXIT => me == Phase::Eating,
+            _ => false,
+        }
+    }
+
+    fn execute(&self, _view: &View<'_, Self>, action: ActionId) -> Vec<Write<Self>> {
+        let next = match action.kind {
+            TOY_JOIN => Phase::Hungry,
+            TOY_ENTER => Phase::Eating,
+            TOY_EXIT => Phase::Thinking,
+            _ => unreachable!("unknown toy action {action:?}"),
+        };
+        vec![Write::Local(next)]
+    }
+
+    fn corrupt_local(&self, rng: &mut StdRng, _topo: &Topology, _p: ProcessId) -> Phase {
+        match rng.gen_range(0..3) {
+            0 => Phase::Thinking,
+            1 => Phase::Hungry,
+            _ => Phase::Eating,
+        }
+    }
+
+    fn corrupt_edge(&self, _rng: &mut StdRng, _topo: &Topology, _e: EdgeId) {}
+}
+
+impl DinerAlgorithm for ToyDiners {
+    fn phase(&self, local: &Phase) -> Phase {
+        *local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::SystemState;
+
+    #[test]
+    fn guards_follow_id_priority() {
+        let t = Topology::line(3);
+        let mut s: SystemState<ToyDiners> = SystemState::initial(&ToyDiners, &t);
+        *s.local_mut(ProcessId(0)) = Phase::Hungry;
+        *s.local_mut(ProcessId(1)) = Phase::Hungry;
+        let v0 = View::new(&t, &s, ProcessId(0), true);
+        let v1 = View::new(&t, &s, ProcessId(1), true);
+        assert!(ToyDiners.enabled(&v0, ActionId::global(TOY_ENTER)));
+        assert!(
+            !ToyDiners.enabled(&v1, ActionId::global(TOY_ENTER)),
+            "hungry lower-id neighbor blocks"
+        );
+    }
+
+    #[test]
+    fn eating_neighbor_blocks_enter() {
+        let t = Topology::line(2);
+        let mut s: SystemState<ToyDiners> = SystemState::initial(&ToyDiners, &t);
+        *s.local_mut(ProcessId(0)) = Phase::Hungry;
+        *s.local_mut(ProcessId(1)) = Phase::Eating;
+        let v0 = View::new(&t, &s, ProcessId(0), true);
+        assert!(!ToyDiners.enabled(&v0, ActionId::global(TOY_ENTER)));
+        let v1 = View::new(&t, &s, ProcessId(1), false);
+        assert!(ToyDiners.enabled(&v1, ActionId::global(TOY_EXIT)));
+    }
+
+    #[test]
+    fn join_requires_needs() {
+        let t = Topology::line(2);
+        let s: SystemState<ToyDiners> = SystemState::initial(&ToyDiners, &t);
+        let hungry = View::new(&t, &s, ProcessId(0), true);
+        let sated = View::new(&t, &s, ProcessId(0), false);
+        assert!(ToyDiners.enabled(&hungry, ActionId::global(TOY_JOIN)));
+        assert!(!ToyDiners.enabled(&sated, ActionId::global(TOY_JOIN)));
+    }
+}

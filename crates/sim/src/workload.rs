@@ -1,0 +1,239 @@
+//! Workloads: implementations of the paper's `needs():p` function.
+//!
+//! The paper leaves `needs()` completely free ("the function evaluates to
+//! true arbitrarily"); liveness is stated for processes whose `needs()`
+//! continuously evaluates to true. A [`Workload`] decides, per process and
+//! step, whether the process currently wants to eat, and is informed of
+//! completed meals so quota-style workloads can stop asking.
+
+use crate::graph::ProcessId;
+use crate::rng;
+
+/// The paper's `needs():p` function, evaluated by the engine when
+/// computing `join` guards.
+pub trait Workload {
+    /// Whether process `pid` wants to eat at `step`.
+    fn needs(&self, pid: ProcessId, step: u64) -> bool;
+
+    /// Notification that `pid` started eating at `step` (a meal). The
+    /// default implementation ignores it.
+    fn note_eat(&mut self, pid: ProcessId, step: u64) {
+        let _ = (pid, step);
+    }
+
+    /// Workload name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Every process wants to eat at every step — the maximum-contention
+/// workload used for throughput and liveness experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlwaysHungry;
+
+impl Workload for AlwaysHungry {
+    fn needs(&self, _pid: ProcessId, _step: u64) -> bool {
+        true
+    }
+    fn name(&self) -> &str {
+        "always-hungry"
+    }
+}
+
+/// No process ever wants to eat (quiescence testing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NeverHungry;
+
+impl Workload for NeverHungry {
+    fn needs(&self, _pid: ProcessId, _step: u64) -> bool {
+        false
+    }
+    fn name(&self) -> &str {
+        "never-hungry"
+    }
+}
+
+/// Each `(pid, step)` wants to eat independently with probability
+/// `num/den`, as a *pure function* of the inputs (so repeated guard
+/// evaluations within a step agree, and runs are reproducible).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BernoulliWorkload {
+    seed: u64,
+    num: u32,
+    den: u32,
+}
+
+impl BernoulliWorkload {
+    /// Wants to eat with probability `num/den` per (process, step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or `num > den`.
+    pub fn new(seed: u64, num: u32, den: u32) -> Self {
+        assert!(den != 0 && num <= den, "invalid probability {num}/{den}");
+        BernoulliWorkload { seed, num, den }
+    }
+}
+
+impl Workload for BernoulliWorkload {
+    fn needs(&self, pid: ProcessId, step: u64) -> bool {
+        rng::bernoulli_hash(self.seed, pid.index() as u64, step, self.num, self.den)
+    }
+    fn name(&self) -> &str {
+        "bernoulli"
+    }
+}
+
+/// Each process wants to eat until it has completed a fixed number of
+/// meals, then thinks forever. Useful for termination-style experiments
+/// ("every job runs `k` critical sections").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuotaWorkload {
+    remaining: Vec<u64>,
+}
+
+impl QuotaWorkload {
+    /// Every process wants `quota` meals.
+    pub fn uniform(n: usize, quota: u64) -> Self {
+        QuotaWorkload {
+            remaining: vec![quota; n],
+        }
+    }
+
+    /// Per-process quotas.
+    pub fn per_process(quotas: Vec<u64>) -> Self {
+        QuotaWorkload { remaining: quotas }
+    }
+
+    /// Meals still owed to `pid`.
+    pub fn remaining(&self, pid: ProcessId) -> u64 {
+        self.remaining[pid.index()]
+    }
+
+    /// Whether every process has eaten its quota.
+    pub fn all_satisfied(&self) -> bool {
+        self.remaining.iter().all(|&r| r == 0)
+    }
+}
+
+impl Workload for QuotaWorkload {
+    fn needs(&self, pid: ProcessId, _step: u64) -> bool {
+        self.remaining[pid.index()] > 0
+    }
+    fn note_eat(&mut self, pid: ProcessId, _step: u64) {
+        let r = &mut self.remaining[pid.index()];
+        *r = r.saturating_sub(1);
+    }
+    fn name(&self) -> &str {
+        "quota"
+    }
+}
+
+/// Only an explicit subset of processes is ever hungry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubsetWorkload {
+    hungry: Vec<bool>,
+}
+
+impl SubsetWorkload {
+    /// The given processes want to eat at every step; all others never do.
+    pub fn new(n: usize, hungry: impl IntoIterator<Item = ProcessId>) -> Self {
+        let mut mask = vec![false; n];
+        for p in hungry {
+            mask[p.index()] = true;
+        }
+        SubsetWorkload { hungry: mask }
+    }
+}
+
+impl Workload for SubsetWorkload {
+    fn needs(&self, pid: ProcessId, _step: u64) -> bool {
+        self.hungry[pid.index()]
+    }
+    fn name(&self) -> &str {
+        "subset"
+    }
+}
+
+/// A workload defined by an arbitrary pure function of `(pid, step)`.
+pub struct FnWorkload<F> {
+    f: F,
+    label: &'static str,
+}
+
+impl<F: Fn(ProcessId, u64) -> bool> FnWorkload<F> {
+    /// Wrap a pure function as a workload.
+    pub fn new(label: &'static str, f: F) -> Self {
+        FnWorkload { f, label }
+    }
+}
+
+impl<F: Fn(ProcessId, u64) -> bool> Workload for FnWorkload<F> {
+    fn needs(&self, pid: ProcessId, step: u64) -> bool {
+        (self.f)(pid, step)
+    }
+    fn name(&self) -> &str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_and_never() {
+        assert!(AlwaysHungry.needs(ProcessId(0), 0));
+        assert!(AlwaysHungry.needs(ProcessId(3), 999));
+        assert!(!NeverHungry.needs(ProcessId(0), 0));
+    }
+
+    #[test]
+    fn bernoulli_is_pure_and_calibrated() {
+        let w = BernoulliWorkload::new(11, 1, 2);
+        assert_eq!(w.needs(ProcessId(2), 5), w.needs(ProcessId(2), 5));
+        let hits = (0..10_000)
+            .filter(|&s| w.needs(ProcessId(0), s))
+            .count() as f64;
+        assert!((hits / 10_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn bernoulli_rejects_bad_probability() {
+        BernoulliWorkload::new(0, 3, 2);
+    }
+
+    #[test]
+    fn quota_counts_down_and_saturates() {
+        let mut w = QuotaWorkload::uniform(2, 2);
+        let p = ProcessId(0);
+        assert!(w.needs(p, 0));
+        w.note_eat(p, 1);
+        assert_eq!(w.remaining(p), 1);
+        w.note_eat(p, 2);
+        assert!(!w.needs(p, 3));
+        w.note_eat(p, 4); // extra meals don't underflow
+        assert_eq!(w.remaining(p), 0);
+        assert!(!w.all_satisfied());
+        w.note_eat(ProcessId(1), 5);
+        w.note_eat(ProcessId(1), 6);
+        assert!(w.all_satisfied());
+    }
+
+    #[test]
+    fn subset_masks_processes() {
+        let w = SubsetWorkload::new(4, [ProcessId(1), ProcessId(3)]);
+        assert!(!w.needs(ProcessId(0), 0));
+        assert!(w.needs(ProcessId(1), 0));
+        assert!(!w.needs(ProcessId(2), 7));
+        assert!(w.needs(ProcessId(3), 7));
+    }
+
+    #[test]
+    fn fn_workload_delegates() {
+        let w = FnWorkload::new("even-steps", |_p, s| s % 2 == 0);
+        assert!(w.needs(ProcessId(0), 4));
+        assert!(!w.needs(ProcessId(0), 5));
+        assert_eq!(w.name(), "even-steps");
+    }
+}

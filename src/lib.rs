@@ -1,0 +1,59 @@
+//! # Dining Philosophers that Tolerate Malicious Crashes
+//!
+//! A complete Rust implementation and experimental reproduction of
+//! **Nesterenko & Arora, ICDCS 2002**: a self-stabilizing solution to the
+//! dining-philosophers problem with *optimal crash failure locality 2*
+//! under **malicious crashes** — faults in which a process behaves
+//! arbitrarily (within its write capability) for a finite time and then
+//! halts, undetectably to its neighbors.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`sim`] (`diners-sim`) — the guarded-command shared-memory
+//!   simulation substrate: topologies, weakly fair daemons, the fault
+//!   model (benign/malicious crash, transient, initially dead), a
+//!   deterministic engine with service metrics, predicates.
+//! * [`core`] (`diners-core`) — the paper's five-action algorithm
+//!   (Figure 1), its predicates (`NC`, `SH`, `ST`, `E`, invariant `I`),
+//!   the red/green blocked-set fixpoint, failure-locality measurement,
+//!   the MCA-problem checker, and the exact Figure 2 reproduction.
+//! * [`baselines`] (`diners-baselines`) — ablated variants (no dynamic
+//!   threshold, no cycle breaking), a greedy diner and a Chandy–Misra
+//!   style hygienic diner for comparison experiments.
+//! * [`mp`] (`diners-mp`) — the §4 message-passing transformation:
+//!   K-state handshake per link, fork-token exclusion core, deterministic
+//!   simulated network and a real thread-per-node runtime.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use malicious_diners::core::MaliciousCrashDiners;
+//! use malicious_diners::sim::{Engine, FaultPlan, Topology};
+//! use malicious_diners::sim::scheduler::RandomScheduler;
+//!
+//! // 16 philosophers on a ring; one maliciously crashes at step 2000.
+//! let mut engine = Engine::builder(MaliciousCrashDiners::paper(), Topology::ring(16))
+//!     .scheduler(RandomScheduler::new(42))
+//!     .faults(FaultPlan::new().malicious_crash(2_000, 5, 16))
+//!     .seed(42)
+//!     .build();
+//! engine.run(50_000);
+//!
+//! // Only the crash's distance-2 neighborhood can be affected; everyone
+//! // else keeps eating and no two live neighbors ever eat at once after
+//! // the fault window.
+//! let far = malicious_diners::sim::graph::ProcessId(13);
+//! assert!(engine.metrics().eats_of(far) > 0);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure and theorem, and the
+//! `examples/` directory for runnable scenarios.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use diners_baselines as baselines;
+pub use diners_core as core;
+pub use diners_mp as mp;
+pub use diners_sim as sim;

@@ -1,0 +1,52 @@
+//! Integration: the paper's Figure 2 reproduces end-to-end through the
+//! public umbrella API.
+
+use malicious_diners::core::figures::{
+    fig2_engine, fig2_topology, run_figure2, A, B, C, D, E, G,
+};
+use malicious_diners::core::redgreen::{affected_radius, Colors};
+use malicious_diners::sim::Phase;
+
+#[test]
+fn figure2_reproduces_every_depicted_property() {
+    let report = run_figure2();
+    assert!(report.all_reproduced(), "{report:#?}");
+}
+
+#[test]
+fn figure2_topology_matches_the_paper() {
+    let topo = fig2_topology();
+    assert_eq!(topo.len(), 7);
+    assert_eq!(topo.diameter(), 3, "the paper's example states D = 3");
+}
+
+#[test]
+fn figure2_containment_radius_is_exactly_two() {
+    let mut engine = fig2_engine();
+    engine.run(5);
+    let snap = engine.snapshot();
+    assert_eq!(affected_radius(&snap), Some(2));
+    let colors = Colors::compute(&snap);
+    assert!(colors.is_red(A), "dead a");
+    assert!(colors.is_red(B), "blocked hungry b");
+    assert!(colors.is_red(C), "blocked thinking c");
+    assert!(colors.is_red(D), "yielded d, distance 2");
+    assert!(colors.is_green(E));
+    assert!(colors.is_green(G));
+}
+
+#[test]
+fn figure2_long_run_keeps_the_far_side_alive() {
+    // Continue far beyond the scripted prefix under the fair fallback
+    // daemon: the green processes keep eating forever, the red ones
+    // never eat, and no two live neighbors ever eat together.
+    let mut engine = fig2_engine();
+    engine.run(40_000);
+    assert_eq!(engine.metrics().violation_step_count(), 0);
+    assert_eq!(engine.metrics().eats_of(B), 0, "b is blocked for good");
+    assert_eq!(engine.metrics().eats_of(C), 0, "c is blocked for good");
+    for p in [E, G] {
+        assert!(engine.metrics().eats_of(p) > 10, "{p} should keep eating");
+    }
+    assert_eq!(engine.phase_of(A), Phase::Eating, "the dead eater persists");
+}

@@ -1,0 +1,195 @@
+//! Property-based tests: the paper's invariants over randomized
+//! topologies, fault plans and schedules.
+
+use proptest::prelude::*;
+
+use malicious_diners::core::predicates::{self, Invariant, NoLiveCycles};
+use malicious_diners::core::redgreen::{affected_radius, Colors};
+use malicious_diners::core::MaliciousCrashDiners;
+use malicious_diners::sim::graph::Topology;
+use malicious_diners::sim::predicate::StatePredicate;
+use malicious_diners::sim::scheduler::{
+    Adversary, AdversarialScheduler, LeastRecentScheduler, RandomScheduler, RoundRobinScheduler,
+    Scheduler,
+};
+use malicious_diners::sim::{Engine, FaultPlan};
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (4usize..12, any::<u64>()).prop_flat_map(|(n, seed)| {
+        prop_oneof![
+            Just(Topology::ring(n)),
+            Just(Topology::line(n)),
+            Just(Topology::binary_tree(n)),
+            Just(Topology::random_connected(n, 0.25, seed)),
+        ]
+    })
+}
+
+fn arb_scheduler() -> impl Strategy<Value = Boxed> {
+    (0usize..4, any::<u64>()).prop_map(|(kind, seed)| {
+        Boxed(match kind {
+            0 => Box::new(RandomScheduler::new(seed)) as Box<dyn Scheduler>,
+            1 => Box::new(LeastRecentScheduler::new()),
+            2 => Box::new(RoundRobinScheduler::new()),
+            _ => Box::new(AdversarialScheduler::new(Adversary::Newest, 32, seed)),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, .. ProptestConfig::default()
+    })]
+
+    /// The red set never reaches beyond distance 2 of the dead set, in
+    /// any state whatsoever (arbitrary corruption, arbitrary deaths).
+    #[test]
+    fn red_radius_at_most_two_in_any_state(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+        victims in prop::collection::vec(0usize..12, 0..3),
+    ) {
+        let mut plan = FaultPlan::new().from_arbitrary_state();
+        for v in victims {
+            plan = plan.initially_dead(v % topo.len());
+        }
+        let engine = Engine::builder(MaliciousCrashDiners::paper(), topo)
+            .faults(plan)
+            .seed(seed)
+            .build();
+        if let Some(r) = affected_radius(&engine.snapshot()) {
+            prop_assert!(r <= 2, "red radius {r}");
+        }
+    }
+
+    /// From an arbitrary state, under any daemon, the corrected-bound
+    /// invariant is reached and two live neighbors never eat afterwards.
+    #[test]
+    fn stabilization_under_every_daemon(
+        topo in arb_topology(),
+        sched in arb_scheduler(),
+        seed in any::<u64>(),
+    ) {
+        let alg = MaliciousCrashDiners::corrected();
+        let inv = Invariant::for_algorithm(&alg);
+        let mut engine = Engine::builder(alg, topo)
+            .scheduler(sched)
+            .faults(FaultPlan::new().from_arbitrary_state())
+            .seed(seed)
+            .build();
+        let converged = engine.convergence_step(&inv, 60_000);
+        prop_assert!(converged.is_some(), "no convergence");
+        let since = engine.step_count();
+        engine.run(5_000);
+        let late = engine
+            .metrics()
+            .violation_steps()
+            .iter()
+            .filter(|&&s| s >= since)
+            .count();
+        prop_assert_eq!(late, 0);
+    }
+
+    /// NC is closed: once the live priority graph is acyclic it stays so
+    /// (exits only ever direct all edges toward the exiting process).
+    #[test]
+    fn nc_is_closed(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+    ) {
+        let mut engine = Engine::builder(MaliciousCrashDiners::paper(), topo)
+            .scheduler(RandomScheduler::new(seed))
+            .faults(FaultPlan::new().from_arbitrary_state())
+            .seed(seed)
+            .build();
+        let mut was_acyclic = false;
+        for _ in 0..4_000 {
+            engine.step();
+            let acyclic = NoLiveCycles.holds(&engine.snapshot());
+            if was_acyclic {
+                prop_assert!(acyclic, "NC was violated after holding");
+            }
+            was_acyclic = acyclic;
+        }
+    }
+
+    /// The E predicate converges: the number of live eating pairs never
+    /// increases, and hits zero.
+    #[test]
+    fn eating_pairs_drain_monotonically(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+    ) {
+        let mut engine = Engine::builder(MaliciousCrashDiners::paper(), topo)
+            .scheduler(RandomScheduler::new(seed))
+            .faults(FaultPlan::new().from_arbitrary_state())
+            .seed(seed)
+            .build();
+        let (mut prev, _) = engine.eating_pairs();
+        for _ in 0..4_000 {
+            engine.step();
+            let (now, _) = engine.eating_pairs();
+            prop_assert!(now <= prev, "eating pairs increased {prev} -> {now}");
+            prev = now;
+        }
+        prop_assert_eq!(prev, 0, "eating pairs never drained");
+    }
+
+    /// Green processes are exactly the ones that keep eating; red ones
+    /// never eat (after the system settles with some processes dead).
+    #[test]
+    fn colors_predict_service(
+        seed in any::<u64>(),
+        victim in 0usize..10,
+    ) {
+        let topo = Topology::ring(10);
+        let mut engine = Engine::builder(MaliciousCrashDiners::paper(), topo)
+            .scheduler(RandomScheduler::new(seed))
+            .faults(FaultPlan::new().malicious_crash(200, victim, 8))
+            .seed(seed)
+            .build();
+        engine.run(20_000);
+        let since = engine.step_count();
+        engine.run(30_000);
+        let colors = Colors::compute(&engine.snapshot());
+        for p in engine.topology().processes() {
+            if engine.is_dead(p) {
+                continue;
+            }
+            let meals = engine.metrics().eats_in_window(p, since, engine.step_count());
+            if colors.is_red(p) {
+                prop_assert_eq!(meals, 0, "red {} ate", p);
+            } else {
+                prop_assert!(meals > 0, "green {} starved", p);
+            }
+        }
+        // Safety after the malicious window, always.
+        let snap = engine.snapshot();
+        prop_assert!(predicates::e_holds(&snap));
+    }
+}
+
+// -- helpers ---------------------------------------------------------------
+
+/// Adapter letting a generated `Box<dyn Scheduler>` be installed through
+/// the builder's `impl Scheduler` parameter.
+struct Boxed(Box<dyn Scheduler>);
+
+impl Scheduler for Boxed {
+    fn pick(
+        &mut self,
+        step: u64,
+        enabled: &[malicious_diners::sim::scheduler::EnabledMove],
+    ) -> usize {
+        self.0.pick(step, enabled)
+    }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+impl std::fmt::Debug for Boxed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Boxed({})", self.0.name())
+    }
+}

@@ -108,7 +108,7 @@ mod tests {
     use diners_sim::engine::Engine;
     use diners_sim::fault::FaultPlan;
     use diners_sim::graph::Topology;
-    use diners_sim::scheduler::{Adversary, AdversarialScheduler, RandomScheduler};
+    use diners_sim::scheduler::{AdversarialScheduler, Adversary, RandomScheduler};
 
     #[test]
     fn exclusion_holds_under_serial_daemon() {

@@ -121,7 +121,9 @@ impl Algorithm for HygienicDiners {
         match action.kind {
             HY_JOIN => me == Phase::Thinking && view.needs(),
             HY_REQUEST => {
-                let Some(slot) = action.slot else { return false };
+                let Some(slot) = action.slot else {
+                    return false;
+                };
                 if slot >= view.neighbors().len() {
                     return false;
                 }
@@ -130,16 +132,15 @@ impl Algorithm for HygienicDiners {
                 me == Phase::Hungry && edge.req_at == pid && edge.fork_at == q
             }
             HY_GRANT => {
-                let Some(slot) = action.slot else { return false };
+                let Some(slot) = action.slot else {
+                    return false;
+                };
                 if slot >= view.neighbors().len() {
                     return false;
                 }
                 let q = view.neighbor_at(slot);
                 let edge = view.edge_to(q);
-                me != Phase::Eating
-                    && edge.fork_at == pid
-                    && edge.req_at == pid
-                    && edge.dirty
+                me != Phase::Eating && edge.fork_at == pid && edge.req_at == pid && edge.dirty
             }
             HY_ENTER => me == Phase::Hungry && self.holds_all_forks(view),
             HY_EXIT => me == Phase::Eating,

@@ -12,12 +12,25 @@ fn main() {
     assert!(report.all_reproduced(), "FIG2 failed to reproduce");
 
     println!("{}", diners_bench::experiments::stabilization::run(&scale));
-    println!("{}", diners_bench::experiments::stabilization::run_dense(&scale));
+    println!(
+        "{}",
+        diners_bench::experiments::stabilization::run_dense(&scale)
+    );
     println!("{}", diners_bench::experiments::locality::run(&scale));
     println!("{}", diners_bench::experiments::malicious::run(&scale));
     println!("{}", diners_bench::experiments::cycles::run(&scale));
     println!("{}", diners_bench::experiments::throughput::run(&scale));
     println!("{}", diners_bench::experiments::masking::run(&scale));
-    println!("{}", diners_bench::experiments::message_passing::run(&scale));
+    println!(
+        "{}",
+        diners_bench::experiments::message_passing::run(&scale)
+    );
     println!("{}", diners_bench::experiments::daemons::run(&scale));
+
+    let (chaos_table, chaos_totals) = diners_bench::experiments::chaos::sweep(&scale);
+    println!("{chaos_table}");
+    assert!(
+        chaos_totals.clean(),
+        "chaos sweep found a safety/liveness failure"
+    );
 }

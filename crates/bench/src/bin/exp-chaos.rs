@@ -1,0 +1,22 @@
+//! Chaos soak binary; pass --quick for the reduced test-scale sweep.
+//!
+//! Exits nonzero if any run breaks exclusion or leaves a process
+//! starved after the adversary heals.
+
+use diners_bench::Scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let (table, totals) = diners_bench::experiments::chaos::sweep(&scale);
+    println!("{table}");
+    println!("{}", table.to_csv());
+    println!(
+        "chaos: {} runs, {} violation steps, {} starved post-heal",
+        totals.runs, totals.violations, totals.starved
+    );
+    assert!(
+        totals.clean(),
+        "chaos sweep found a safety/liveness failure"
+    );
+}

@@ -24,7 +24,7 @@ use diners_sim::engine::Engine;
 use diners_sim::graph::{ProcessId, Topology};
 use diners_sim::predicate::StatePredicate;
 use diners_sim::scheduler::{
-    Adversary, AdversarialScheduler, EnabledMove, RandomScheduler, Scheduler,
+    AdversarialScheduler, Adversary, EnabledMove, RandomScheduler, Scheduler,
 };
 use diners_sim::table::{fmt_opt, Table};
 
@@ -207,7 +207,10 @@ pub fn run(scale: &Scale) -> Table {
                 RandomScheduler::new(seed),
                 seed,
             );
-            if engine.convergence_step(&NoLiveCycles, scale.settle).is_some() {
+            if engine
+                .convergence_step(&NoLiveCycles, scale.settle)
+                .is_some()
+            {
                 random_broken += 1;
             }
         }

@@ -50,11 +50,7 @@ pub fn run(scale: &Scale) -> Table {
             violations += v;
             meals += m;
         }
-        t.row([
-            name.to_string(),
-            violations.to_string(),
-            meals.to_string(),
-        ]);
+        t.row([name.to_string(), violations.to_string(), meals.to_string()]);
     };
     seeds_total("nesterenko-arora", &mut |s| {
         measure(MaliciousCrashDiners::paper(), topo.clone(), rounds, s)
@@ -81,8 +77,7 @@ mod tests {
     #[test]
     fn paper_exclusion_is_daemon_robust_but_greedy_is_not() {
         let topo = Topology::ring(8);
-        let (paper_v, paper_m) =
-            measure(MaliciousCrashDiners::paper(), topo.clone(), 10_000, 1);
+        let (paper_v, paper_m) = measure(MaliciousCrashDiners::paper(), topo.clone(), 10_000, 1);
         assert_eq!(paper_v, 0, "the priority antisymmetry protects exclusion");
         assert!(paper_m > 0, "the system still makes progress");
 

@@ -12,7 +12,10 @@ pub fn run() -> (Figure2Report, Table) {
         ["property (paper)", "reproduced"],
     );
     let yn = |b: bool| if b { "yes" } else { "NO" };
-    t.row(["a crashed while eating; b stays blocked hungry", yn(report.b_still_hungry)]);
+    t.row([
+        "a crashed while eating; b stays blocked hungry",
+        yn(report.b_still_hungry),
+    ]);
     t.row(["c stays blocked thinking", yn(report.c_still_thinking)]);
     t.row([
         "d executes leave (dynamic threshold, distance 2)",

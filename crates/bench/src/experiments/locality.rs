@@ -15,10 +15,10 @@
 //! neighbors (it has no waiting chains at all — and none of the paper's
 //! fairness or stabilization properties).
 
+use diners_baselines::{GreedyDiners, HygienicDiners};
 use diners_core::locality::measure_window;
 use diners_core::redgreen::affected_radius;
 use diners_core::{MaliciousCrashDiners, Variant};
-use diners_baselines::{GreedyDiners, HygienicDiners};
 use diners_sim::algorithm::{Phase, SystemState};
 use diners_sim::engine::Engine;
 use diners_sim::fault::FaultPlan;
@@ -59,8 +59,7 @@ fn paper_family(variant: MaliciousCrashDiners, n: usize, scale: &Scale) -> (u32,
         engine.run(scale.settle);
         let report = measure_window(&mut engine, scale.window);
         worst_behavioral = worst_behavioral.max(report.behavioral_radius.unwrap_or(0));
-        worst_analytic =
-            worst_analytic.max(affected_radius(&engine.snapshot()).unwrap_or(0));
+        worst_analytic = worst_analytic.max(affected_radius(&engine.snapshot()).unwrap_or(0));
     }
     (worst_behavioral, worst_analytic)
 }

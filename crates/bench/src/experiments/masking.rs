@@ -78,7 +78,11 @@ pub fn run(scale: &Scale) -> Table {
         let mean = finite.iter().sum::<f64>() / finite.len().max(1) as f64;
         t.row([
             d.to_string(),
-            if min.is_finite() { fmt_f64(min, 2) } else { "-".into() },
+            if min.is_finite() {
+                fmt_f64(min, 2)
+            } else {
+                "-".into()
+            },
             fmt_f64(mean, 2),
             ratios.len().to_string(),
         ]);

@@ -29,7 +29,13 @@ pub struct MpOutcome {
 
 /// Run a SimNet scenario: `steps` total, with the final `window` used as
 /// the starvation measurement window.
-pub fn scenario(topo: Topology, faults: FaultPlan, seed: u64, steps: u64, window: u64) -> MpOutcome {
+pub fn scenario(
+    topo: Topology,
+    faults: FaultPlan,
+    seed: u64,
+    steps: u64,
+    window: u64,
+) -> MpOutcome {
     let mut net = SimNet::new(topo, faults, seed);
     net.run(steps.saturating_sub(window));
     let since = net.step_count();

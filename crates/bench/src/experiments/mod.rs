@@ -3,6 +3,7 @@
 //! thin wrappers, and the integration suite re-runs everything at
 //! [`crate::common::Scale::quick`].
 
+pub mod chaos;
 pub mod cycles;
 pub mod daemons;
 pub mod fig2;

@@ -41,12 +41,7 @@ fn samples_for(
 ) -> Vec<Option<u64>> {
     (0..scale.seeds)
         .map(|seed| {
-            stabilization_steps(
-                alg,
-                topo.clone(),
-                subseed(seed, topo.len() as u64),
-                horizon,
-            )
+            stabilization_steps(alg, topo.clone(), subseed(seed, topo.len() as u64), horizon)
         })
         .collect()
 }
@@ -83,11 +78,15 @@ pub fn run(scale: &Scale) -> Table {
     );
     for &n in scale.sizes {
         for topo in main_families(n) {
-            let mut corrected: Vec<Option<u64>> =
-                samples_for(MaliciousCrashDiners::corrected(), &topo, scale, scale.horizon)
-                    .into_iter()
-                    .map(|s| stable(s, scale.horizon))
-                    .collect();
+            let mut corrected: Vec<Option<u64>> = samples_for(
+                MaliciousCrashDiners::corrected(),
+                &topo,
+                scale,
+                scale.horizon,
+            )
+            .into_iter()
+            .map(|s| stable(s, scale.horizon))
+            .collect();
             let cmax = max_opt(&corrected);
             let cmed = median_opt(&mut corrected);
 
@@ -152,11 +151,15 @@ pub fn run_dense(scale: &Scale) -> Table {
         .into_iter()
         .filter(|&s| stable(s, scale.horizon / 2).is_some())
         .count();
-        let mut corrected: Vec<Option<u64>> =
-            samples_for(MaliciousCrashDiners::corrected(), &topo, scale, scale.horizon)
-                .into_iter()
-                .map(|s| stable(s, scale.horizon))
-                .collect();
+        let mut corrected: Vec<Option<u64>> = samples_for(
+            MaliciousCrashDiners::corrected(),
+            &topo,
+            scale,
+            scale.horizon,
+        )
+        .into_iter()
+        .map(|s| stable(s, scale.horizon))
+        .collect();
         let cmax = max_opt(&corrected);
         t.row([
             topo.name().to_string(),
@@ -180,8 +183,7 @@ mod tests {
             ..Scale::quick()
         };
         for topo in main_families(8) {
-            let samples =
-                samples_for(MaliciousCrashDiners::corrected(), &topo, &scale, 100_000);
+            let samples = samples_for(MaliciousCrashDiners::corrected(), &topo, &scale, 100_000);
             for s in &samples {
                 let at = s.expect("corrected bound must stabilize");
                 assert!(at < 20_000, "{}: late convergence at {at}", topo.name());
@@ -227,8 +229,7 @@ mod tests {
             paper.iter().all(|s| stable(*s, 60_000).is_none()),
             "expected perpetual churn on the complete graph: {paper:?}"
         );
-        let corrected =
-            samples_for(MaliciousCrashDiners::corrected(), &topo, &scale, 120_000);
+        let corrected = samples_for(MaliciousCrashDiners::corrected(), &topo, &scale, 120_000);
         assert!(
             corrected.iter().all(|s| stable(*s, 120_000).is_some()),
             "corrected bound failed: {corrected:?}"

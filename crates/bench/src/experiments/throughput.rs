@@ -34,8 +34,12 @@ fn push_row(t: &mut Table, name: &str, topo: &Topology, steps: u64, s: ServiceSt
         fmt_f64(per_kproc, 2),
         s.min_eats.to_string(),
         s.max_response.to_string(),
-        s.mean_response.map(|x| fmt_f64(x, 1)).unwrap_or_else(|| "-".into()),
-        s.fairness.map(|x| fmt_f64(x, 3)).unwrap_or_else(|| "-".into()),
+        s.mean_response
+            .map(|x| fmt_f64(x, 1))
+            .unwrap_or_else(|| "-".into()),
+        s.fairness
+            .map(|x| fmt_f64(x, 3))
+            .unwrap_or_else(|| "-".into()),
         s.violation_steps.to_string(),
     ]);
 }

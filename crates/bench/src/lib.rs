@@ -14,6 +14,7 @@
 //! | T6   | masking outside the locality            | [`experiments::masking`] |
 //! | T7   | §4 message-passing transformation       | [`experiments::message_passing`] |
 //! | T8   | daemon robustness (synchronous rounds)  | [`experiments::daemons`] |
+//! | T9   | chaos soak — randomized link faults     | [`experiments::chaos`] |
 //!
 //! Run them all with `cargo run -p diners-bench --release --bin exp-all`,
 //! or individually via the `exp-*` binaries.

@@ -250,21 +250,21 @@ impl MaliciousCrashDiners {
     }
 
     fn all_ancestors_thinking(&self, view: &View<'_, Self>) -> bool {
-        view.neighbors().iter().all(|&q| {
-            !self.is_ancestor(view, q) || view.neighbor_local(q).phase == Phase::Thinking
-        })
+        view.neighbors()
+            .iter()
+            .all(|&q| !self.is_ancestor(view, q) || view.neighbor_local(q).phase == Phase::Thinking)
     }
 
     fn some_ancestor_not_thinking(&self, view: &View<'_, Self>) -> bool {
-        view.neighbors().iter().any(|&q| {
-            self.is_ancestor(view, q) && view.neighbor_local(q).phase != Phase::Thinking
-        })
+        view.neighbors()
+            .iter()
+            .any(|&q| self.is_ancestor(view, q) && view.neighbor_local(q).phase != Phase::Thinking)
     }
 
     fn no_descendant_eating(&self, view: &View<'_, Self>) -> bool {
-        view.neighbors().iter().all(|&q| {
-            !self.is_descendant(view, q) || view.neighbor_local(q).phase != Phase::Eating
-        })
+        view.neighbors()
+            .iter()
+            .all(|&q| !self.is_descendant(view, q) || view.neighbor_local(q).phase != Phase::Eating)
     }
 }
 
@@ -295,9 +295,7 @@ impl Algorithm for MaliciousCrashDiners {
         let me = view.local();
         match action.kind {
             JOIN => {
-                view.needs()
-                    && me.phase == Phase::Thinking
-                    && self.all_ancestors_thinking(view)
+                view.needs() && me.phase == Phase::Thinking && self.all_ancestors_thinking(view)
             }
             LEAVE => {
                 self.variant.dynamic_threshold
@@ -396,8 +394,11 @@ impl Algorithm for MaliciousCrashDiners {
         // arbitrary writes to its own local variables, plus — for any
         // subset of incident edges — *yielding* the edge (the only shared
         // update the model permits a process).
-        let mut writes: Vec<Write<Self>> =
-            vec![Write::Local(self.corrupt_local(rng, view.topology(), view.pid()))];
+        let mut writes: Vec<Write<Self>> = vec![Write::Local(self.corrupt_local(
+            rng,
+            view.topology(),
+            view.pid(),
+        ))];
         for &q in view.neighbors() {
             if rng.gen_bool(0.5) {
                 writes.push(Write::Edge {
@@ -578,7 +579,13 @@ mod tests {
         // Not enabled toward an ancestor.
         let slot0 = t.slot_of(ProcessId(1), ProcessId(0));
         s.local_mut(ProcessId(0)).depth = 50;
-        assert!(!enabled(&t, &s, 1, ActionId::at_slot(FIXDEPTH, slot0), true));
+        assert!(!enabled(
+            &t,
+            &s,
+            1,
+            ActionId::at_slot(FIXDEPTH, slot0),
+            true
+        ));
         // Not enabled when depth already large enough.
         s.local_mut(ProcessId(1)).depth = 6;
         assert!(!enabled(&t, &s, 1, ActionId::at_slot(FIXDEPTH, slot), true));

@@ -104,8 +104,12 @@ mod tests {
     fn stabilization_from_arbitrary_states() {
         // Paper bound: genuinely stable on a line (D = n-1 there).
         for seed in 0..3 {
-            let steps =
-                stabilization_steps(MaliciousCrashDiners::paper(), Topology::line(8), seed, 50_000);
+            let steps = stabilization_steps(
+                MaliciousCrashDiners::paper(),
+                Topology::line(8),
+                seed,
+                50_000,
+            );
             assert!(steps.is_some(), "line seed {seed}: did not stabilize");
         }
         // Corrected bound: stable on every topology (see the T1 finding).

@@ -68,6 +68,8 @@ pub mod redgreen;
 pub mod roles;
 pub mod state;
 
-pub use algorithm::{DepthBound, MaliciousCrashDiners, Variant, ENTER, EXIT, FIXDEPTH, JOIN, LEAVE};
+pub use algorithm::{
+    DepthBound, MaliciousCrashDiners, Variant, ENTER, EXIT, FIXDEPTH, JOIN, LEAVE,
+};
 pub use redgreen::{affected_radius, Colors};
 pub use state::{DinerLocal, PriorityVar};

@@ -77,10 +77,7 @@ impl McaChecker {
         let protected: Vec<ProcessId> = topo
             .processes()
             .filter(|&p| !engine.is_dead(p))
-            .filter(|&p| {
-                dead.iter()
-                    .all(|&d| topo.distance(p, d) > self.m)
-            })
+            .filter(|&p| dead.iter().all(|&d| topo.distance(p, d) > self.m))
             .collect();
         let now = engine.step_count();
         let starved_protected: Vec<ProcessId> = protected
@@ -88,8 +85,7 @@ impl McaChecker {
             .copied()
             .filter(|&p| engine.metrics().eats_in_window(p, window_start, now) == 0)
             .collect();
-        let safety_violation_steps =
-            engine.metrics().violation_step_count() - violations_before;
+        let safety_violation_steps = engine.metrics().violation_step_count() - violations_before;
         let satisfied = starved_protected.is_empty() && safety_violation_steps == 0;
         McaReport {
             m: self.m,
@@ -141,10 +137,7 @@ mod tests {
         let mut e = engine(FaultPlan::new().malicious_crash(100, 0, 8), 6);
         let rep = checker.run(&mut e);
         // Protected: distance > 2 from p0 => p3..p7.
-        assert_eq!(
-            rep.protected,
-            (3..8).map(ProcessId).collect::<Vec<_>>()
-        );
+        assert_eq!(rep.protected, (3..8).map(ProcessId).collect::<Vec<_>>());
         assert!(
             rep.satisfied,
             "starved: {:?}, safety violations: {}",

@@ -279,7 +279,10 @@ mod tests {
         let s = State::initial(&alg(), &t);
         let h = vec![Health::Live; t.len()];
         let snap = Snapshot::new(&t, &s, &h);
-        assert!(!st_holds(&snap, d(&t)), "ring(6): long initial chain is deep");
+        assert!(
+            !st_holds(&snap, d(&t)),
+            "ring(6): long initial chain is deep"
+        );
         // Under the corrected n bound the same state is fine.
         assert!(st_holds(&snap, 6), "ring(6): corrected bound accepts it");
     }
@@ -418,9 +421,7 @@ mod tests {
             }
             let snap = Snapshot::new(&t, &s, &h);
             for bound in [t.diameter(), t.len() as u32] {
-                let per_process = t
-                    .processes()
-                    .all(|p| is_stably_shallow(&snap, p, bound));
+                let per_process = t.processes().all(|p| is_stably_shallow(&snap, p, bound));
                 assert_eq!(
                     st_holds(&snap, bound),
                     per_process,

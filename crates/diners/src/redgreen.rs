@@ -98,16 +98,16 @@ impl Colors {
 fn rd_clause(snap: &DinerSnapshot<'_>, red: &[bool], p: ProcessId) -> bool {
     let phase = snap.state.local(p).phase;
     match phase {
-        Phase::Thinking => direct_ancestors(snap, p).into_iter().any(|q| {
-            red[q.index()] && snap.state.local(q).phase != Phase::Thinking
-        }),
+        Phase::Thinking => direct_ancestors(snap, p)
+            .into_iter()
+            .any(|q| red[q.index()] && snap.state.local(q).phase != Phase::Thinking),
         Phase::Hungry => {
-            let ancestors_locked = direct_ancestors(snap, p).into_iter().all(|q| {
-                red[q.index()] && snap.state.local(q).phase == Phase::Thinking
-            });
-            let eating_red_descendant = direct_descendants(snap, p).into_iter().any(|q| {
-                red[q.index()] && snap.state.local(q).phase == Phase::Eating
-            });
+            let ancestors_locked = direct_ancestors(snap, p)
+                .into_iter()
+                .all(|q| red[q.index()] && snap.state.local(q).phase == Phase::Thinking);
+            let eating_red_descendant = direct_descendants(snap, p)
+                .into_iter()
+                .any(|q| red[q.index()] && snap.state.local(q).phase == Phase::Eating);
             ancestors_locked && eating_red_descendant
         }
         Phase::Eating => false, // a live eater is never red by clause

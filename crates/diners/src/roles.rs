@@ -227,7 +227,11 @@ mod tests {
 
     #[test]
     fn initial_graph_is_acyclic() {
-        for t in [Topology::ring(6), Topology::grid(3, 3), Topology::complete(5)] {
+        for t in [
+            Topology::ring(6),
+            Topology::grid(3, 3),
+            Topology::complete(5),
+        ] {
             let s = State::initial(&alg(), &t);
             let h = vec![Health::Live; t.len()];
             let snap = Snapshot::new(&t, &s, &h);

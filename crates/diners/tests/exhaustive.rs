@@ -56,7 +56,8 @@ fn exclusion_and_acyclicity_verified_on_small_topologies() {
             report
         );
         assert_eq!(
-            report.deadlocks, 0,
+            report.deadlocks,
+            0,
             "{}: an always-hungry system must never deadlock",
             topo.name()
         );

@@ -1,0 +1,573 @@
+//! The network adversary: composable, seeded, per-link fault injection.
+//!
+//! The message-passing transformation is only as credible as the network
+//! it survives. This module generalizes the original single
+//! loss-probability knob into a *vocabulary* of link faults, configured
+//! declaratively through an [`AdversaryPlan`] (mirroring
+//! [`diners_sim::fault::FaultPlan`] for process faults) and executed by a
+//! seeded [`LinkAdversary`] at the send boundary, so the [`crate::node`]
+//! logic stays untouched by construction:
+//!
+//! * **loss** — each message is independently dropped;
+//! * **duplication** — each message is independently doubled (the copy
+//!   gets its own delay/reorder draws, as if it took another path);
+//! * **bounded delay** — a message is held back a bounded number of
+//!   steps before it becomes deliverable;
+//! * **reorder** — a message may overtake earlier traffic on its link;
+//! * **partition** — a link (or every link of one node) is cut for a
+//!   scheduled window and *heals* afterwards; messages sent into a cut
+//!   are lost, exactly like an unplugged cable;
+//! * **corruption** — messages on links adjacent to a *maliciously
+//!   crashing* node are replaced by arbitrary payloads (the paper's
+//!   malicious-crash model extended to the wire: a byzantine process may
+//!   garble traffic it can reach, but a correct link never invents
+//!   bytes on its own).
+//!
+//! Both network backends consume the same plan: the deterministic
+//! [`crate::simnet::SimNet`] interprets delays in scheduler steps and
+//! realizes reordering by queue position, while the threaded
+//! [`crate::runtime::ThreadRuntime`] interprets delays in tick units and
+//! realizes reordering as bounded extra jitter. Every random draw comes
+//! from the adversary's own seeded generator, so a SimNet run under any
+//! plan is exactly reproducible from `(plan, seed)`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use diners_sim::graph::ProcessId;
+use diners_sim::rng;
+
+use crate::message::LinkMsg;
+
+/// What part of the network an outage cuts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutageScope {
+    /// One link, unordered endpoints.
+    Link(ProcessId, ProcessId),
+    /// Every link adjacent to one node.
+    Node(ProcessId),
+}
+
+/// A scheduled transient outage: the scope is cut during
+/// `[from_step, until_step)` and healed afterwards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outage {
+    /// What is cut.
+    pub scope: OutageScope,
+    /// First step of the outage.
+    pub from_step: u64,
+    /// First step *after* the outage (healing time).
+    pub until_step: u64,
+}
+
+impl Outage {
+    /// Whether this outage cuts the `(from, to)` link at `step`.
+    fn cuts(&self, from: ProcessId, to: ProcessId, step: u64) -> bool {
+        if step < self.from_step || step >= self.until_step {
+            return false;
+        }
+        match self.scope {
+            OutageScope::Link(a, b) => (a == from && b == to) || (a == to && b == from),
+            OutageScope::Node(p) => p == from || p == to,
+        }
+    }
+}
+
+/// A declarative, composable schedule of link faults for one run.
+///
+/// Mirrors [`diners_sim::fault::FaultPlan`]: built once, up front, with
+/// chainable `#[must_use]` methods; interpreted deterministically by the
+/// seeded [`LinkAdversary`].
+///
+/// # Examples
+///
+/// ```
+/// use diners_mp::adversary::AdversaryPlan;
+/// let plan = AdversaryPlan::new()
+///     .loss(100)
+///     .duplication(150)
+///     .delay(250, 64)
+///     .reorder(200)
+///     .cut_link(0, 1, 5_000, 12_000);
+/// assert!(!plan.is_benign());
+/// assert_eq!(plan.healed_by(), 12_000);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryPlan {
+    loss_per_mille: u32,
+    dup_per_mille: u32,
+    delay_per_mille: u32,
+    delay_max_steps: u64,
+    reorder_per_mille: u32,
+    corrupt_per_mille: u32,
+    outages: Vec<Outage>,
+}
+
+fn assert_per_mille(per_mille: u32, what: &str) {
+    assert!(
+        per_mille <= 1000,
+        "{what} rate {per_mille} exceeds 1000 per mille"
+    );
+}
+
+impl AdversaryPlan {
+    /// A benign network: every message is delivered once, in order,
+    /// intact, immediately.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Alias for [`AdversaryPlan::new`], reads better at call sites.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Independently drop each message with probability
+    /// `per_mille / 1000`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 900`: a link that almost never delivers
+    /// cannot make progress within test horizons.
+    #[must_use]
+    pub fn loss(mut self, per_mille: u32) -> Self {
+        assert!(per_mille <= 900, "loss rate too high to be useful");
+        self.loss_per_mille = per_mille;
+        self
+    }
+
+    /// Independently duplicate each message with probability
+    /// `per_mille / 1000`. The copy draws its own delay and reorder
+    /// faults, as if it travelled a second path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 1000`.
+    #[must_use]
+    pub fn duplication(mut self, per_mille: u32) -> Self {
+        assert_per_mille(per_mille, "duplication");
+        self.dup_per_mille = per_mille;
+        self
+    }
+
+    /// Independently delay each message with probability
+    /// `per_mille / 1000`, by a uniform `1..=max_steps` steps (SimNet)
+    /// or tick units (thread runtime). Delivery stays *eventual*: the
+    /// delay bound is part of the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 1000`, or if `per_mille > 0` while
+    /// `max_steps == 0`.
+    #[must_use]
+    pub fn delay(mut self, per_mille: u32, max_steps: u64) -> Self {
+        assert_per_mille(per_mille, "delay");
+        assert!(
+            per_mille == 0 || max_steps > 0,
+            "delay enabled with a zero bound"
+        );
+        self.delay_per_mille = per_mille;
+        self.delay_max_steps = max_steps;
+        self
+    }
+
+    /// Independently let each message overtake earlier traffic on its
+    /// link with probability `per_mille / 1000`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 1000`.
+    #[must_use]
+    pub fn reorder(mut self, per_mille: u32) -> Self {
+        assert_per_mille(per_mille, "reorder");
+        self.reorder_per_mille = per_mille;
+        self
+    }
+
+    /// Replace messages on links adjacent to a maliciously crashing
+    /// (byzantine) node with arbitrary payloads, each with probability
+    /// `per_mille / 1000`. Links between two correct processes are never
+    /// corrupted — only a byzantine endpoint gives the adversary a pen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 1000`.
+    #[must_use]
+    pub fn corrupt_near_byzantine(mut self, per_mille: u32) -> Self {
+        assert_per_mille(per_mille, "corruption");
+        self.corrupt_per_mille = per_mille;
+        self
+    }
+
+    /// Cut the link between `a` and `b` during `[from_step, until_step)`;
+    /// it heals at `until_step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    #[must_use]
+    pub fn cut_link(
+        mut self,
+        a: impl Into<ProcessId>,
+        b: impl Into<ProcessId>,
+        from_step: u64,
+        until_step: u64,
+    ) -> Self {
+        assert!(from_step < until_step, "empty outage window");
+        self.outages.push(Outage {
+            scope: OutageScope::Link(a.into(), b.into()),
+            from_step,
+            until_step,
+        });
+        self
+    }
+
+    /// Cut every link adjacent to `p` during `[from_step, until_step)`;
+    /// they heal at `until_step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    #[must_use]
+    pub fn isolate(mut self, p: impl Into<ProcessId>, from_step: u64, until_step: u64) -> Self {
+        assert!(from_step < until_step, "empty outage window");
+        self.outages.push(Outage {
+            scope: OutageScope::Node(p.into()),
+            from_step,
+            until_step,
+        });
+        self
+    }
+
+    /// Whether this plan injects no faults at all.
+    pub fn is_benign(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// The step by which every *liveness-blocking* fault has healed: the
+    /// end of the last outage window. Probabilistic loss, duplication,
+    /// bounded delay, reordering and byzantine-adjacent corruption never
+    /// block liveness (retransmission drives through them), so they do
+    /// not extend this bound.
+    pub fn healed_by(&self) -> u64 {
+        self.outages.iter().map(|o| o.until_step).max().unwrap_or(0)
+    }
+
+    /// The configured loss rate (per mille).
+    pub fn loss_per_mille(&self) -> u32 {
+        self.loss_per_mille
+    }
+
+    /// All scheduled outages.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// Whether the `(from, to)` link is inside an outage window at
+    /// `step`.
+    pub fn link_cut(&self, from: ProcessId, to: ProcessId, step: u64) -> bool {
+        self.outages.iter().any(|o| o.cuts(from, to, step))
+    }
+
+    /// A one-line description for experiment tables and test output.
+    pub fn describe(&self) -> String {
+        if self.is_benign() {
+            return "benign".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.loss_per_mille > 0 {
+            parts.push(format!("loss {}‰", self.loss_per_mille));
+        }
+        if self.dup_per_mille > 0 {
+            parts.push(format!("dup {}‰", self.dup_per_mille));
+        }
+        if self.delay_per_mille > 0 {
+            parts.push(format!(
+                "delay {}‰≤{}",
+                self.delay_per_mille, self.delay_max_steps
+            ));
+        }
+        if self.reorder_per_mille > 0 {
+            parts.push(format!("reorder {}‰", self.reorder_per_mille));
+        }
+        if self.corrupt_per_mille > 0 {
+            parts.push(format!("corrupt {}‰", self.corrupt_per_mille));
+        }
+        if !self.outages.is_empty() {
+            parts.push(format!("outages {}", self.outages.len()));
+        }
+        parts.join(" + ")
+    }
+}
+
+/// One delivery produced by filtering a send through the adversary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The (possibly corrupted) payload.
+    pub msg: LinkMsg,
+    /// Extra steps (SimNet) / tick units (thread runtime) to hold the
+    /// message back before it may be delivered.
+    pub delay: u64,
+    /// When set, the message may overtake earlier traffic; the key is a
+    /// random draw the backend uses to pick the overtake position.
+    pub reorder_key: Option<u64>,
+}
+
+/// The per-run executor of an [`AdversaryPlan`]: owns the plan plus a
+/// seeded generator, and filters every send through the configured
+/// faults.
+#[derive(Clone, Debug)]
+pub struct LinkAdversary {
+    plan: AdversaryPlan,
+    rng: StdRng,
+}
+
+impl LinkAdversary {
+    /// Instantiate `plan` with its own deterministic random stream
+    /// derived from `seed`.
+    pub fn new(plan: AdversaryPlan, seed: u64) -> Self {
+        LinkAdversary {
+            plan,
+            rng: rng::rng(rng::subseed(seed, 0x00AD_FEED)),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &AdversaryPlan {
+        &self.plan
+    }
+
+    /// Replace the configured loss rate (legacy shim for the old
+    /// post-hoc `SimNet::set_loss_per_mille` API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 900`.
+    pub fn set_loss(&mut self, per_mille: u32) {
+        assert!(per_mille <= 900, "loss rate too high to be useful");
+        self.plan.loss_per_mille = per_mille;
+    }
+
+    fn roll(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && self.rng.gen_range(0..1000) < per_mille
+    }
+
+    /// Filter one send at time `now` through the plan, appending the
+    /// resulting deliveries (possibly none, possibly two) to `out`.
+    /// `byzantine_adjacent` marks links where an endpoint is in its
+    /// malicious pre-crash phase — the only links corruption can touch.
+    pub fn apply(
+        &mut self,
+        now: u64,
+        from: ProcessId,
+        to: ProcessId,
+        msg: LinkMsg,
+        byzantine_adjacent: bool,
+        out: &mut Vec<Delivery>,
+    ) {
+        if self.plan.link_cut(from, to, now) {
+            return; // sent into a cut cable: lost
+        }
+        if self.roll(self.plan.loss_per_mille) {
+            return; // lost on the wire
+        }
+        let msg = if byzantine_adjacent && self.roll(self.plan.corrupt_per_mille) {
+            LinkMsg::arbitrary(&mut self.rng, from, to)
+        } else {
+            msg
+        };
+        let copies = if self.roll(self.plan.dup_per_mille) {
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let delay = if self.roll(self.plan.delay_per_mille) {
+                self.rng.gen_range(1..=self.plan.delay_max_steps)
+            } else {
+                0
+            };
+            let reorder_key = if self.roll(self.plan.reorder_per_mille) {
+                Some(self.rng.gen::<u64>())
+            } else {
+                None
+            };
+            out.push(Delivery {
+                msg,
+                delay,
+                reorder_key,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> LinkMsg {
+        let mut r = rng::rng(0);
+        LinkMsg::arbitrary(&mut r, ProcessId(0), ProcessId(1))
+    }
+
+    #[test]
+    fn benign_plan_delivers_everything_verbatim() {
+        let mut adv = LinkAdversary::new(AdversaryPlan::none(), 1);
+        let m = msg();
+        let mut out = Vec::new();
+        for step in 0..100 {
+            out.clear();
+            adv.apply(step, ProcessId(0), ProcessId(1), m, false, &mut out);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].msg, m);
+            assert_eq!(out[0].delay, 0);
+            assert_eq!(out[0].reorder_key, None);
+        }
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_configured_fraction() {
+        let mut adv = LinkAdversary::new(AdversaryPlan::new().loss(300), 2);
+        let m = msg();
+        let mut out = Vec::new();
+        let mut delivered = 0;
+        for step in 0..10_000 {
+            out.clear();
+            adv.apply(step, ProcessId(0), ProcessId(1), m, false, &mut out);
+            delivered += out.len();
+        }
+        let p = delivered as f64 / 10_000.0;
+        assert!((p - 0.7).abs() < 0.03, "delivery rate {p}");
+    }
+
+    #[test]
+    fn duplication_doubles_some_messages() {
+        let mut adv = LinkAdversary::new(AdversaryPlan::new().duplication(400), 3);
+        let m = msg();
+        let mut out = Vec::new();
+        let mut total = 0;
+        for step in 0..5_000 {
+            out.clear();
+            adv.apply(step, ProcessId(0), ProcessId(1), m, false, &mut out);
+            assert!(out.len() == 1 || out.len() == 2);
+            total += out.len();
+        }
+        let rate = total as f64 / 5_000.0;
+        assert!((rate - 1.4).abs() < 0.05, "copy rate {rate}");
+    }
+
+    #[test]
+    fn delay_is_bounded_and_sometimes_nonzero() {
+        let mut adv = LinkAdversary::new(AdversaryPlan::new().delay(500, 16), 4);
+        let m = msg();
+        let mut out = Vec::new();
+        let mut delayed = 0;
+        for step in 0..5_000 {
+            out.clear();
+            adv.apply(step, ProcessId(0), ProcessId(1), m, false, &mut out);
+            let d = out[0].delay;
+            assert!(d <= 16, "delay {d} exceeds bound");
+            if d > 0 {
+                delayed += 1;
+                assert!(d >= 1);
+            }
+        }
+        assert!(delayed > 2_000, "only {delayed} messages delayed");
+    }
+
+    #[test]
+    fn outage_cuts_exactly_its_window_and_scope() {
+        let plan = AdversaryPlan::new()
+            .cut_link(0, 1, 10, 20)
+            .isolate(3, 15, 25);
+        assert!(!plan.link_cut(ProcessId(0), ProcessId(1), 9));
+        assert!(plan.link_cut(ProcessId(0), ProcessId(1), 10));
+        assert!(
+            plan.link_cut(ProcessId(1), ProcessId(0), 19),
+            "unordered endpoints"
+        );
+        assert!(!plan.link_cut(ProcessId(0), ProcessId(1), 20), "healed");
+        assert!(plan.link_cut(ProcessId(3), ProcessId(2), 15), "node scope");
+        assert!(
+            plan.link_cut(ProcessId(4), ProcessId(3), 24),
+            "either direction"
+        );
+        assert!(
+            !plan.link_cut(ProcessId(4), ProcessId(2), 15),
+            "unrelated link"
+        );
+        assert_eq!(plan.healed_by(), 25);
+    }
+
+    #[test]
+    fn corruption_only_touches_byzantine_adjacent_links() {
+        let mut adv = LinkAdversary::new(AdversaryPlan::new().corrupt_near_byzantine(1000), 5);
+        let m = msg();
+        let mut out = Vec::new();
+        adv.apply(0, ProcessId(0), ProcessId(1), m, false, &mut out);
+        assert_eq!(out[0].msg, m, "correct-correct links are never corrupted");
+        let mut corrupted = 0;
+        for step in 0..64 {
+            out.clear();
+            adv.apply(step, ProcessId(0), ProcessId(1), m, true, &mut out);
+            if out[0].msg != m {
+                corrupted += 1;
+            }
+        }
+        assert!(
+            corrupted > 48,
+            "corruption at 1000‰ barely fired: {corrupted}/64"
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let plan = AdversaryPlan::new()
+            .loss(100)
+            .duplication(100)
+            .delay(200, 8)
+            .reorder(150);
+        let mut a = LinkAdversary::new(plan.clone(), 9);
+        let mut b = LinkAdversary::new(plan, 9);
+        let m = msg();
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        for step in 0..1_000 {
+            oa.clear();
+            ob.clear();
+            a.apply(step, ProcessId(0), ProcessId(1), m, true, &mut oa);
+            b.apply(step, ProcessId(0), ProcessId(1), m, true, &mut ob);
+            assert_eq!(oa, ob);
+        }
+    }
+
+    #[test]
+    fn describe_summarizes_the_plan() {
+        assert_eq!(AdversaryPlan::none().describe(), "benign");
+        let d = AdversaryPlan::new()
+            .loss(50)
+            .delay(100, 32)
+            .cut_link(0, 1, 5, 10)
+            .describe();
+        assert!(d.contains("loss 50‰"), "{d}");
+        assert!(d.contains("delay 100‰≤32"), "{d}");
+        assert!(d.contains("outages 1"), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate too high")]
+    fn excessive_loss_is_rejected() {
+        let _ = AdversaryPlan::new().loss(950);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bound")]
+    fn delay_needs_a_bound() {
+        let _ = AdversaryPlan::new().delay(100, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty outage window")]
+    fn empty_outage_is_rejected() {
+        let _ = AdversaryPlan::new().cut_link(0, 1, 10, 10);
+    }
+}

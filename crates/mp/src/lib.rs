@@ -12,11 +12,16 @@
 //!   for the exclusion core (the paper's first suggested transformation
 //!   route), scheduled by the paper's own priority / dynamic-threshold /
 //!   depth logic over cached neighbor state;
+//! * [`adversary`] — the composable network adversary: a declarative
+//!   [`AdversaryPlan`] of link faults (loss, duplication, bounded delay,
+//!   reordering, healing partitions, byzantine-adjacent corruption)
+//!   executed deterministically at the send boundary;
 //! * [`simnet`] — a deterministic simulated network with the full fault
 //!   vocabulary (benign/malicious crash, transient corruption, arbitrary
-//!   initial states);
+//!   initial states) plus the adversary's link faults;
 //! * [`runtime`] — a real thread-per-node runtime over crossbeam
-//!   channels, running the *same* node logic.
+//!   channels, running the *same* node logic under the *same* adversary
+//!   plans.
 //!
 //! The guarantees here are the message-passing analogues of the paper's:
 //! exclusion and service recover *eventually* after transients and
@@ -27,12 +32,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adversary;
 pub mod kstate;
 pub mod message;
 pub mod node;
 pub mod runtime;
 pub mod simnet;
 
+pub use adversary::{AdversaryPlan, LinkAdversary};
 pub use message::LinkMsg;
 pub use node::{Node, NodeConfig, NodeEvent};
 pub use runtime::ThreadRuntime;

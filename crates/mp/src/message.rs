@@ -17,6 +17,12 @@ use crate::kstate::K;
 pub struct LinkMsg {
     /// Handshake counter (see [`crate::kstate`]).
     pub k: u8,
+    /// Per-link send sequence number (wrapping). Receivers drop messages
+    /// that are not strictly newer than the last one accepted on the
+    /// link, restoring FIFO-with-losses semantics under duplication and
+    /// reordering; comparison is by wrapping distance so recovery works
+    /// from arbitrary (corrupted) values.
+    pub seq: u32,
     /// Sender's current phase.
     pub phase: Phase,
     /// Sender's current depth.
@@ -53,6 +59,7 @@ impl LinkMsg {
         };
         LinkMsg {
             k: rng.gen_range(0..K),
+            seq: rng.gen::<u32>(),
             phase,
             depth: rng.gen_range(0..64),
             ancestor: if rng.gen_bool(0.5) { me } else { peer },

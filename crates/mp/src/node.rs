@@ -31,6 +31,18 @@ use diners_sim::Phase;
 use crate::kstate::{Handshake, Role};
 use crate::message::LinkMsg;
 
+/// Retransmission backoff cap, in ticks. A silent link is probed at
+/// least this often, so a healed partition is rediscovered within a
+/// bounded number of ticks.
+const MAX_BACKOFF: u32 = 16;
+
+/// Consecutive sequence-stale deliveries that force a receive-side
+/// resync. A `recv_seq` corrupted to a value far ahead of the sender
+/// would otherwise filter the link forever; after this many stale
+/// drops in a row the receiver concludes its own cursor is the broken
+/// side and adopts the incoming stream.
+const RESYNC_AFTER: u8 = 16;
+
 /// Static configuration of one node.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeConfig {
@@ -78,6 +90,19 @@ struct LinkState {
     peer_phase: Phase,
     peer_depth: u32,
     last_sent: Option<LinkMsg>,
+    /// Sequence number stamped on the last freshly composed message.
+    send_seq: u32,
+    /// Sequence number of the last message that passed the freshness
+    /// filter; only strictly newer messages (by wrapping distance) are
+    /// processed, so duplicated and reordered deliveries degrade to
+    /// losses — which the handshake already tolerates.
+    recv_seq: u32,
+    /// Consecutive sequence-stale deliveries (drives the forced resync).
+    stale_run: u8,
+    /// Current retransmission backoff interval, in ticks.
+    retx_interval: u32,
+    /// Ticks left before the next retransmission is due.
+    retx_countdown: u32,
 }
 
 impl LinkState {
@@ -120,6 +145,11 @@ impl Node {
                     peer_phase: Phase::Thinking,
                     peer_depth: 0,
                     last_sent: None,
+                    send_seq: 0,
+                    recv_seq: 0,
+                    stale_run: 0,
+                    retx_interval: 1,
+                    retx_countdown: 0,
                 }
             })
             .collect();
@@ -208,7 +238,11 @@ impl Node {
         self.just_entered = false;
         let me = self.cfg.id;
         for l in &mut self.links {
-            let role = if me < l.peer { Role::Master } else { Role::Slave };
+            let role = if me < l.peer {
+                Role::Master
+            } else {
+                Role::Slave
+            };
             l.hs = Handshake::with_counter(role, rng.gen_range(0..crate::kstate::K));
             l.has_fork = rng.gen_bool(0.5);
             l.transfer_pending = false;
@@ -227,6 +261,11 @@ impl Node {
             };
             l.peer_depth = rng.gen_range(0..=self.cfg.diameter * 4 + 8);
             l.last_sent = None;
+            l.send_seq = rng.gen::<u32>();
+            l.recv_seq = rng.gen::<u32>();
+            l.stale_run = rng.gen_range(0..RESYNC_AFTER);
+            l.retx_interval = rng.gen_range(1..=MAX_BACKOFF);
+            l.retx_countdown = rng.gen_range(0..=MAX_BACKOFF);
         }
     }
 
@@ -258,8 +297,33 @@ impl Node {
                 if !self.cfg.neighbors.contains(&from) {
                     return Vec::new(); // stray message
                 }
+                {
+                    let l = self.link_mut(from);
+                    // Any inbound traffic proves the peer reachable:
+                    // restart the retransmission backoff so a live link
+                    // converses at full speed.
+                    l.retx_interval = 1;
+                    l.retx_countdown = 0;
+                    // Freshness filter: only messages strictly newer (by
+                    // wrapping distance) than the last one seen pass, so
+                    // duplicated, reordered and unequally delayed
+                    // deliveries degrade to losses — which the handshake
+                    // tolerates. Without this, a delayed message whose
+                    // counter aliases mod K can replay a stale fork
+                    // transfer and break exclusion. A long stale run
+                    // means *our* cursor is the corrupted side: resync
+                    // to the incoming stream.
+                    let fresh = msg.seq.wrapping_sub(l.recv_seq) as i32 > 0;
+                    if !fresh && l.stale_run < RESYNC_AFTER {
+                        l.stale_run += 1;
+                        return Vec::new();
+                    }
+                    l.recv_seq = msg.seq;
+                    l.stale_run = 0;
+                }
                 if !self.link(from).hs.accepts(msg.k) {
-                    // Duplicate / stale: ignore; ticks retransmit.
+                    // Duplicate / stale by alternation: ignore; ticks
+                    // retransmit.
                     return Vec::new();
                 }
                 self.absorb(from, msg);
@@ -272,17 +336,34 @@ impl Node {
                 let me_links: Vec<ProcessId> = self.links.iter().map(|l| l.peer).collect();
                 let mut out = Vec::new();
                 for peer in me_links {
-                    let l = self.link(peer);
-                    match l.last_sent {
-                        // Retransmit the exact previous message: its
-                        // handshake counter makes duplicates harmless.
-                        Some(m) => out.push((peer, m)),
-                        // First send on this link.
-                        None => {
-                            let m = self.compose(peer);
-                            out.push((peer, m));
+                    let due = {
+                        let l = self.link_mut(peer);
+                        if l.retx_countdown > 0 {
+                            l.retx_countdown -= 1;
+                            false
+                        } else {
+                            true
                         }
+                    };
+                    if !due {
+                        continue;
                     }
+                    let msg = match self.link(peer).last_sent {
+                        // Retransmit the exact previous message (same
+                        // sequence number): the receiver drops it cold
+                        // if the original already arrived.
+                        Some(m) => m,
+                        // First send on this link.
+                        None => self.compose(peer),
+                    };
+                    // Back off exponentially (capped): a dead or
+                    // partitioned link is probed ever more rarely, while
+                    // any accepted inbound message resets the interval.
+                    let l = self.link_mut(peer);
+                    let next = (l.retx_interval * 2).min(MAX_BACKOFF);
+                    l.retx_interval = next;
+                    l.retx_countdown = next;
+                    out.push((peer, msg));
                 }
                 out
             }
@@ -458,8 +539,10 @@ impl Node {
             l.transfer_pending = true;
             l.peer_requested = false;
         }
+        l.send_seq = l.send_seq.wrapping_add(1);
         let msg = LinkMsg {
             k: l.hs.counter(),
+            seq: l.send_seq,
             phase,
             depth,
             ancestor: l.ancestor,
@@ -627,15 +710,99 @@ mod tests {
     }
 
     #[test]
-    fn tick_retransmits_last_message() {
+    fn tick_retransmits_with_capped_backoff() {
         let (mut a, _) = pair();
-        let first = a.handle(NodeEvent::Tick);
-        let second = a.handle(NodeEvent::Tick);
-        assert_eq!(first.len(), 1);
-        assert_eq!(
-            first[0].1, second[0].1,
-            "retransmission must repeat the exact payload"
+        let mut sends: Vec<(u32, LinkMsg)> = Vec::new();
+        for t in 0..60u32 {
+            for (_, m) in a.handle(NodeEvent::Tick) {
+                sends.push((t, m));
+            }
+        }
+        assert!(sends.len() >= 3, "a silent link must still be probed");
+        assert!(
+            sends.len() < 60,
+            "backoff must suppress most retransmissions"
         );
+        let gaps: Vec<u32> = sends.windows(2).map(|w| w[1].0 - w[0].0).collect();
+        for w in gaps.windows(2) {
+            assert!(
+                w[1] >= w[0],
+                "backoff gaps must be non-decreasing: {gaps:?}"
+            );
+        }
+        assert!(
+            gaps.iter().all(|&g| g <= MAX_BACKOFF + 1),
+            "backoff must stay capped: {gaps:?}"
+        );
+        for w in sends.windows(2) {
+            assert_eq!(
+                w[0].1, w[1].1,
+                "retransmission must repeat the exact payload"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_resets_on_inbound_traffic() {
+        let (mut a, mut b) = pair();
+        // Grow a's backoff with silent ticks until it is deep in a gap.
+        for _ in 0..20 {
+            a.handle(NodeEvent::Tick);
+        }
+        let quiet: usize = (0..4).map(|_| a.handle(NodeEvent::Tick).len()).sum();
+        assert_eq!(quiet, 0, "deep in backoff, ticks should be silent");
+        // Hearing from the peer must reset the interval: the very next
+        // tick retransmits.
+        let msg = b.handle(NodeEvent::Tick).remove(0).1;
+        a.handle(NodeEvent::Deliver {
+            from: ProcessId(1),
+            msg,
+        });
+        assert_eq!(
+            a.handle(NodeEvent::Tick).len(),
+            1,
+            "inbound traffic must reset the backoff"
+        );
+    }
+
+    #[test]
+    fn duplicated_fork_transfer_is_dropped_as_stale() {
+        let (mut a, mut b) = pair();
+        a.set_needs(false);
+        // Master opens the conversation; the hungry slave asks for the
+        // fork; the sated master grants it.
+        let m0 = a.handle(NodeEvent::Tick).remove(0).1;
+        let req = b
+            .handle(NodeEvent::Deliver {
+                from: ProcessId(0),
+                msg: m0,
+            })
+            .remove(0)
+            .1;
+        assert!(req.fork_request, "hungry slave should request the fork");
+        let grant = a
+            .handle(NodeEvent::Deliver {
+                from: ProcessId(1),
+                msg: req,
+            })
+            .remove(0)
+            .1;
+        assert!(grant.fork_transfer, "sated master should grant");
+        let _ = b.handle(NodeEvent::Deliver {
+            from: ProcessId(0),
+            msg: grant,
+        });
+        assert!(b.holds_fork(ProcessId(0)));
+        // The network duplicates the grant: the copy carries a stale
+        // sequence number and must be ignored outright — a second
+        // "transfer" of the same fork is how duplication would otherwise
+        // corrupt the token count.
+        let out = b.handle(NodeEvent::Deliver {
+            from: ProcessId(0),
+            msg: grant,
+        });
+        assert!(out.is_empty(), "duplicate grant must be dropped cold");
+        assert!(b.holds_fork(ProcessId(0)));
     }
 
     #[test]

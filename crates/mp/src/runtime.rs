@@ -12,6 +12,17 @@
 //! Crashes are injected by control message: a benign crash makes the
 //! thread exit silently; a malicious crash makes it spew arbitrary
 //! messages for a bounded number of turns first.
+//!
+//! Network faults come from the same [`AdversaryPlan`] vocabulary the
+//! simulator uses ([`ThreadRuntime::spawn_with_adversary`]): each thread
+//! runs its outgoing messages through its own seeded [`LinkAdversary`]
+//! at the send boundary, counting its ticks as the adversary's clock.
+//! Two deviations from the simulator, both inherent to real channels:
+//! reordering degrades to extra hold-back jitter (crossbeam channels are
+//! FIFO, so overtaking is realized by delaying a copy), and
+//! byzantine-adjacent corruption is not applied (a thread cannot observe
+//! its peers' health; malicious crashes already spew arbitrary payloads
+//! themselves).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -24,6 +35,7 @@ use diners_sim::graph::{ProcessId, Topology};
 use diners_sim::rng;
 use diners_sim::Phase;
 
+use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary};
 use crate::message::LinkMsg;
 use crate::node::{Node, NodeConfig, NodeEvent};
 
@@ -78,14 +90,27 @@ impl ThreadRuntime {
     /// Spawn one thread per process of `topo`, all in the legitimate
     /// initial state. `tick` is the per-node retransmission timeout.
     pub fn spawn(topo: Topology, tick: Duration, seed: u64) -> Self {
+        Self::spawn_with_adversary(topo, tick, AdversaryPlan::none(), seed)
+    }
+
+    /// Like [`ThreadRuntime::spawn`], but every thread runs its outgoing
+    /// messages through `plan` (loss, duplication, delay, jitter,
+    /// outages), with the thread's own tick count as the adversary's
+    /// clock — an outage `until_step` of 500 means "until my 500th
+    /// tick".
+    pub fn spawn_with_adversary(
+        topo: Topology,
+        tick: Duration,
+        plan: AdversaryPlan,
+        seed: u64,
+    ) -> Self {
         let n = topo.len();
         let shared = Arc::new(Shared {
             phases: (0..n).map(|_| AtomicU8::new(0)).collect(),
             meals: (0..n).map(|_| AtomicU64::new(0)).collect(),
             dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
         });
-        let channels: Vec<(Sender<Wire>, Receiver<Wire>)> =
-            (0..n).map(|_| unbounded()).collect();
+        let channels: Vec<(Sender<Wire>, Receiver<Wire>)> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Wire>> = channels.iter().map(|(s, _)| s.clone()).collect();
 
         let mut handles = Vec::new();
@@ -103,8 +128,9 @@ impl ThreadRuntime {
                 .collect();
             let shared = Arc::clone(&shared);
             let node_seed = rng::subseed(seed, p.index() as u64);
+            let node_plan = plan.clone();
             handles.push(std::thread::spawn(move || {
-                node_thread(cfg, rx, peers, shared, tick, node_seed);
+                node_thread(cfg, rx, peers, shared, tick, node_seed, node_plan);
             }));
         }
         ThreadRuntime {
@@ -176,6 +202,59 @@ impl ThreadRuntime {
     }
 }
 
+/// The per-thread sending machinery: every outgoing message runs
+/// through the thread's own [`LinkAdversary`]; surviving copies go out
+/// at once or join the hold-back queue until their due tick.
+struct FaultySender {
+    id: ProcessId,
+    peers: Vec<(ProcessId, Sender<Wire>)>,
+    adversary: LinkAdversary,
+    /// Messages held back by the adversary: `(due_tick, to, msg)`.
+    held: Vec<(u64, ProcessId, LinkMsg)>,
+    scratch: Vec<Delivery>,
+}
+
+impl FaultySender {
+    fn raw_send(peers: &[(ProcessId, Sender<Wire>)], id: ProcessId, to: ProcessId, msg: LinkMsg) {
+        if let Some((_, tx)) = peers.iter().find(|(q, _)| *q == to) {
+            let _ = tx.send(Wire::Data { from: id, msg });
+        }
+    }
+
+    fn send_all(&mut self, now: u64, outs: Vec<(ProcessId, LinkMsg)>) {
+        for (to, msg) in outs {
+            let mut ds = std::mem::take(&mut self.scratch);
+            self.adversary.apply(now, self.id, to, msg, false, &mut ds);
+            for d in ds.drain(..) {
+                // Real channels are FIFO, so "reordering" is realized as
+                // a little extra hold-back on the affected copy.
+                let jitter = d.reorder_key.map_or(0, |k| k % 3);
+                let due = now + d.delay + jitter;
+                if due <= now {
+                    Self::raw_send(&self.peers, self.id, to, d.msg);
+                } else {
+                    self.held.push((due, to, d.msg));
+                }
+            }
+            self.scratch = ds;
+        }
+    }
+
+    /// Release every held-back message whose due tick has come.
+    fn flush(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].0 <= now {
+                let (_, to, msg) = self.held.swap_remove(i);
+                Self::raw_send(&self.peers, self.id, to, msg);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn node_thread(
     cfg: NodeConfig,
     rx: Receiver<Wire>,
@@ -183,17 +262,19 @@ fn node_thread(
     shared: Shared2,
     tick: Duration,
     seed: u64,
+    plan: AdversaryPlan,
 ) {
     let id = cfg.id;
     let mut node = Node::new(cfg);
     let mut rng = rng::rng(seed);
-    let send_all = |outs: Vec<(ProcessId, LinkMsg)>| {
-        for (to, msg) in outs {
-            if let Some((_, tx)) = peers.iter().find(|(q, _)| *q == to) {
-                let _ = tx.send(Wire::Data { from: id, msg });
-            }
-        }
+    let mut net = FaultySender {
+        id,
+        peers,
+        adversary: LinkAdversary::new(plan, seed),
+        held: Vec::new(),
+        scratch: Vec::new(),
     };
+    let mut ticks: u64 = 0;
     let publish = |node: &Node| {
         shared.phases[id.index()].store(phase_to_u8(node.phase()), Ordering::SeqCst);
         shared.meals[id.index()].store(node.meals(), Ordering::SeqCst);
@@ -206,9 +287,11 @@ fn node_thread(
     loop {
         if last_tick.elapsed() >= tick {
             last_tick = std::time::Instant::now();
+            ticks += 1;
+            net.flush(ticks);
             let outs = node.handle(NodeEvent::Tick);
             publish(&node);
-            send_all(outs);
+            net.send_all(ticks, outs);
         }
         let event = match rx.recv_timeout(tick) {
             Ok(Wire::Data { from, msg }) => Some(NodeEvent::Deliver { from, msg }),
@@ -218,8 +301,10 @@ fn node_thread(
             }
             Ok(Wire::MaliciousCrash(steps)) => {
                 // Arbitrary behavior within capability: spew garbage.
+                // The spew bypasses the adversary — a faulty process is
+                // its own fault model.
                 for _ in 0..steps {
-                    for (q, tx) in &peers {
+                    for (q, tx) in &net.peers {
                         use rand::Rng;
                         if rng.gen_bool(0.5) {
                             let msg = LinkMsg::arbitrary(&mut rng, id, *q);
@@ -232,13 +317,17 @@ fn node_thread(
                 return;
             }
             Ok(Wire::Shutdown) => return,
-            Err(RecvTimeoutError::Timeout) => Some(NodeEvent::Tick),
+            Err(RecvTimeoutError::Timeout) => {
+                ticks += 1;
+                net.flush(ticks);
+                Some(NodeEvent::Tick)
+            }
             Err(RecvTimeoutError::Disconnected) => return,
         };
         if let Some(ev) = event {
             let outs = node.handle(ev);
             publish(&node);
-            send_all(outs);
+            net.send_all(ticks, outs);
         }
     }
 }
@@ -266,11 +355,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(100));
         rt.malicious_crash(ProcessId(0), 8);
         std::thread::sleep(Duration::from_millis(100));
-        let before: Vec<u64> = rt
-            .topology()
-            .processes()
-            .map(|p| rt.meals_of(p))
-            .collect();
+        let before: Vec<u64> = rt.topology().processes().map(|p| rt.meals_of(p)).collect();
         std::thread::sleep(Duration::from_millis(400));
         // Distance >= 3 from the crash keeps being served.
         for p in [3usize, 4] {
@@ -287,6 +372,52 @@ mod tests {
     fn shutdown_joins_cleanly() {
         let rt = ThreadRuntime::spawn(Topology::line(2), Duration::from_micros(500), 3);
         std::thread::sleep(Duration::from_millis(20));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn threads_tolerate_a_noisy_adversary() {
+        let plan = AdversaryPlan::new()
+            .loss(150)
+            .duplication(150)
+            .delay(200, 4)
+            .reorder(100);
+        let rt = ThreadRuntime::spawn_with_adversary(
+            Topology::ring(4),
+            Duration::from_micros(200),
+            plan,
+            7,
+        );
+        let violations = rt.observe(Duration::from_millis(600), Duration::from_micros(100));
+        assert_eq!(violations, 0, "exclusion must survive the noise");
+        for p in rt.topology().processes() {
+            assert!(rt.meals_of(p) > 0, "{p} starved under the noisy adversary");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn threads_recover_after_a_partition_heals() {
+        // Cut the middle link for each endpoint's first 300 ticks; with a
+        // 200µs tick that is ~60ms of partition out of a 700ms run.
+        let plan = AdversaryPlan::new().cut_link(ProcessId(1), ProcessId(2), 0, 300);
+        let rt = ThreadRuntime::spawn_with_adversary(
+            Topology::line(4),
+            Duration::from_micros(200),
+            plan,
+            11,
+        );
+        let violations = rt.observe(Duration::from_millis(200), Duration::from_micros(100));
+        assert_eq!(violations, 0, "exclusion must hold across the partition");
+        std::thread::sleep(Duration::from_millis(200));
+        let before: Vec<u64> = rt.topology().processes().map(|p| rt.meals_of(p)).collect();
+        std::thread::sleep(Duration::from_millis(300));
+        for p in rt.topology().processes() {
+            assert!(
+                rt.meals_of(p) > before[p.index()],
+                "{p} made no progress after the partition healed"
+            );
+        }
         rt.shutdown();
     }
 }

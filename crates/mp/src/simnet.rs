@@ -1,32 +1,42 @@
 //! A deterministic simulated network for the message-passing diner.
 //!
 //! Reliable FIFO links (one queue per directed edge), a seeded scheduler
-//! that interleaves deliveries and node ticks fairly at random, and the
-//! same fault vocabulary as the shared-memory engine (reusing
+//! that interleaves deliveries and node ticks fairly at random, the same
+//! process-fault vocabulary as the shared-memory engine (reusing
 //! [`FaultPlan`]): benign crash, malicious crash (the faulty node emits
 //! arbitrary messages for a budget of turns, then halts), global
 //! transient corruption, initially dead nodes, and arbitrary initial
-//! states.
+//! states — plus the full *link*-fault vocabulary of
+//! [`crate::adversary`]: loss, duplication, bounded delay, reordering,
+//! healing partitions, and byzantine-adjacent corruption, all applied at
+//! the send boundary by a seeded [`LinkAdversary`].
 
 use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use diners_sim::fault::{FaultKind, FaultPlan};
+use diners_sim::fault::{FaultKind, FaultPlan, Health};
 use diners_sim::graph::{ProcessId, Topology};
 use diners_sim::rng;
 use diners_sim::Phase;
 
+use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary};
 use crate::message::LinkMsg;
 use crate::node::{Node, NodeConfig, NodeEvent};
 
-/// Health of a simulated node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum NetHealth {
-    Live,
-    Byzantine { remaining: u32 },
-    Dead,
+/// Bound on queued messages per link direction. Retransmission pile-up
+/// and duplication storms beyond this are shed (the protocol tolerates
+/// drops of duplicates); generous enough that delayed-but-undelivered
+/// messages cannot crowd out fresh traffic within their delay bound.
+const QUEUE_CAP: usize = 8;
+
+/// A message in flight: queued on a link, deliverable once the network
+/// step clock reaches `ready_at` (the adversary's bounded delay).
+#[derive(Clone, Copy, Debug)]
+struct Queued {
+    msg: LinkMsg,
+    ready_at: u64,
 }
 
 /// A deterministic run of the message-passing diner over a topology.
@@ -35,36 +45,37 @@ pub struct SimNet {
     nodes: Vec<Node>,
     /// `queues[2*e]` carries lo→hi traffic of edge `e`; `queues[2*e+1]`
     /// carries hi→lo.
-    queues: Vec<VecDeque<LinkMsg>>,
-    health: Vec<NetHealth>,
+    queues: Vec<VecDeque<Queued>>,
+    health: Vec<Health>,
     faults: FaultPlan,
+    adversary: LinkAdversary,
+    /// Scratch buffer for adversary verdicts (avoids per-send allocation).
+    deliveries: Vec<Delivery>,
     rng: StdRng,
     step: u64,
     meal_log: Vec<(u64, ProcessId)>,
     meals_seen: Vec<u64>,
     violation_steps: u64,
     last_violation: Option<u64>,
-    /// Per-mille probability of dropping any sent message (lossy links).
-    loss_per_mille: u32,
 }
 
 impl SimNet {
-    /// Make every link lossy: each sent message is independently dropped
-    /// with probability `per_mille / 1000`. The protocol tolerates loss
-    /// — retransmission ticks re-drive the handshake and the master
-    /// regenerates lost fork tokens — at the cost of latency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `per_mille > 900` (a link that almost never delivers
-    /// cannot make progress within test horizons).
-    pub fn set_loss_per_mille(&mut self, per_mille: u32) {
-        assert!(per_mille <= 900, "loss rate too high to be useful");
-        self.loss_per_mille = per_mille;
+    /// Build a network in the legitimate initial state over a benign
+    /// network (no link faults).
+    pub fn new(topo: Topology, faults: FaultPlan, seed: u64) -> Self {
+        Self::with_adversary(topo, faults, AdversaryPlan::none(), seed)
     }
 
-    /// Build a network in the legitimate initial state.
-    pub fn new(topo: Topology, faults: FaultPlan, seed: u64) -> Self {
+    /// Build a network in the legitimate initial state, with `adversary`
+    /// filtering every send. The adversary draws from its own random
+    /// stream derived from `seed`, so runs are exactly reproducible from
+    /// `(topology, faults, plan, seed)`.
+    pub fn with_adversary(
+        topo: Topology,
+        faults: FaultPlan,
+        adversary: AdversaryPlan,
+        seed: u64,
+    ) -> Self {
         let n = topo.len();
         let mut nodes: Vec<Node> = topo
             .processes()
@@ -82,24 +93,47 @@ impl SimNet {
                 node.corrupt(&mut rng);
             }
         }
-        let mut health = vec![NetHealth::Live; n];
+        let mut health = vec![Health::Live; n];
         for &p in faults.initially_dead_processes() {
-            health[p.index()] = NetHealth::Dead;
+            health[p.index()] = Health::Dead;
         }
         SimNet {
             queues: vec![VecDeque::new(); topo.edge_count() * 2],
             nodes,
             health,
             faults,
+            adversary: LinkAdversary::new(adversary, seed),
+            deliveries: Vec::new(),
             rng,
             step: 0,
             meal_log: Vec::new(),
             meals_seen: vec![0; n],
             violation_steps: 0,
             last_violation: None,
-            loss_per_mille: 0,
             topo,
         }
+    }
+
+    /// Make every link lossy: each sent message is independently dropped
+    /// with probability `per_mille / 1000`. The protocol tolerates loss
+    /// — retransmission ticks re-drive the handshake and the master
+    /// regenerates lost fork tokens — at the cost of latency.
+    ///
+    /// Legacy shim: prefer configuring loss (and richer link faults) at
+    /// construction time through [`SimNet::with_adversary`]; this setter
+    /// merely overwrites the loss knob of the installed plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 900` (a link that almost never delivers
+    /// cannot make progress within test horizons).
+    pub fn set_loss_per_mille(&mut self, per_mille: u32) {
+        self.adversary.set_loss(per_mille);
+    }
+
+    /// The link-fault plan in force.
+    pub fn adversary_plan(&self) -> &AdversaryPlan {
+        self.adversary.plan()
     }
 
     /// The topology.
@@ -119,7 +153,7 @@ impl SimNet {
 
     /// Whether node `p` has halted.
     pub fn is_dead(&self, p: ProcessId) -> bool {
-        matches!(self.health[p.index()], NetHealth::Dead)
+        self.health[p.index()].is_dead()
     }
 
     /// All halted nodes.
@@ -164,11 +198,11 @@ impl SimNet {
     pub fn step(&mut self) {
         self.apply_due_faults();
 
-        // Candidate events: every non-empty queue, plus one tick slot per
-        // active node.
+        // Candidate events: every queue with a ready (delay-expired)
+        // message, plus one tick slot per active node.
         let mut candidates: Vec<Event> = Vec::new();
         for (qi, q) in self.queues.iter().enumerate() {
-            if !q.is_empty() {
+            if q.iter().any(|m| m.ready_at <= self.step) {
                 candidates.push(Event::Deliver(qi));
             }
         }
@@ -221,13 +255,13 @@ impl SimNet {
         let due: Vec<_> = self.faults.due_at(self.step).copied().collect();
         for ev in due {
             match ev.kind {
-                FaultKind::Crash => self.health[ev.target.index()] = NetHealth::Dead,
+                FaultKind::Crash => self.health[ev.target.index()] = Health::Dead,
                 FaultKind::MaliciousCrash { steps } => {
                     if !self.is_dead(ev.target) {
                         self.health[ev.target.index()] = if steps == 0 {
-                            NetHealth::Dead
+                            Health::Dead
                         } else {
-                            NetHealth::Byzantine { remaining: steps }
+                            Health::Byzantine { remaining: steps }
                         };
                     }
                 }
@@ -256,18 +290,23 @@ impl SimNet {
     fn execute(&mut self, ev: Event) {
         match ev {
             Event::Deliver(qi) => {
-                let msg = self.queues[qi].pop_front().expect("queue non-empty");
+                let step = self.step;
+                let q = &mut self.queues[qi];
+                let idx = q
+                    .iter()
+                    .position(|m| m.ready_at <= step)
+                    .expect("queue has a ready message");
+                let msg = q.remove(idx).expect("index in bounds").msg;
                 let (from, to) = self.queue_endpoints(qi);
                 match self.health[to.index()] {
-                    NetHealth::Dead => {} // dropped on the floor
-                    NetHealth::Byzantine { .. } => {
+                    Health::Dead => {} // dropped on the floor
+                    Health::Byzantine { .. } => {
                         // A byzantine node's receive turn is also an
                         // arbitrary-output turn.
                         self.byzantine_turn(to);
                     }
-                    NetHealth::Live => {
-                        let out = self.nodes[to.index()]
-                            .handle(NodeEvent::Deliver { from, msg });
+                    Health::Live => {
+                        let out = self.nodes[to.index()].handle(NodeEvent::Deliver { from, msg });
                         for (peer, m) in out {
                             self.enqueue(to, peer, m);
                         }
@@ -275,9 +314,9 @@ impl SimNet {
                 }
             }
             Event::Turn(p) => match self.health[p.index()] {
-                NetHealth::Dead => {}
-                NetHealth::Byzantine { .. } => self.byzantine_turn(p),
-                NetHealth::Live => {
+                Health::Dead => {}
+                Health::Byzantine { .. } => self.byzantine_turn(p),
+                Health::Live => {
                     let out = self.nodes[p.index()].handle(NodeEvent::Tick);
                     for (peer, m) in out {
                         self.enqueue(p, peer, m);
@@ -295,18 +334,27 @@ impl SimNet {
                 self.enqueue(p, q, msg);
             }
         }
-        if let NetHealth::Byzantine { remaining } = &mut self.health[p.index()] {
+        if let Health::Byzantine { remaining } = &mut self.health[p.index()] {
             *remaining -= 1;
             if *remaining == 0 {
-                self.health[p.index()] = NetHealth::Dead;
+                self.health[p.index()] = Health::Dead;
             }
         }
     }
 
     fn enqueue(&mut self, from: ProcessId, to: ProcessId, msg: LinkMsg) {
-        if self.loss_per_mille > 0 && self.rng.gen_range(0..1000) < self.loss_per_mille {
-            return; // lost on the wire
-        }
+        let byzantine_adjacent = matches!(self.health[from.index()], Health::Byzantine { .. })
+            || matches!(self.health[to.index()], Health::Byzantine { .. });
+        self.deliveries.clear();
+        let mut deliveries = std::mem::take(&mut self.deliveries);
+        self.adversary.apply(
+            self.step,
+            from,
+            to,
+            msg,
+            byzantine_adjacent,
+            &mut deliveries,
+        );
         let e = self
             .topo
             .edge_between(from, to)
@@ -314,13 +362,24 @@ impl SimNet {
         let (lo, _) = self.topo.endpoints(e);
         let dir = usize::from(from != lo);
         let q = &mut self.queues[e.index() * 2 + dir];
-        // Bound retransmission pile-up: keep at most 4 queued messages
-        // per direction (the protocol tolerates drops of duplicates; a
-        // fresh message is never dropped because replies outnumber
-        // retransmissions only transiently).
-        if q.len() < 4 {
-            q.push_back(msg);
+        for d in &deliveries {
+            if q.len() >= QUEUE_CAP {
+                break; // shed the pile-up; retransmission recovers
+            }
+            let queued = Queued {
+                msg: d.msg,
+                ready_at: self.step + d.delay,
+            };
+            match d.reorder_key {
+                // Overtake: splice in ahead of some earlier traffic.
+                Some(key) => {
+                    let at = (key % (q.len() as u64 + 1)) as usize;
+                    q.insert(at, queued);
+                }
+                None => q.push_back(queued),
+            }
         }
+        self.deliveries = deliveries;
     }
 
     fn queue_endpoints(&self, qi: usize) -> (ProcessId, ProcessId) {
@@ -370,11 +429,7 @@ mod tests {
                     "seed {seed}: violation at {last} long after stabilization"
                 );
             }
-            let total: u64 = net
-                .topology()
-                .processes()
-                .map(|p| net.meals_of(p))
-                .sum();
+            let total: u64 = net.topology().processes().map(|p| net.meals_of(p)).sum();
             assert!(total > 0, "seed {seed}: nobody ate");
         }
     }
@@ -421,14 +476,15 @@ mod tests {
     #[test]
     fn lossy_links_slow_but_do_not_break_the_protocol() {
         for per_mille in [100, 300] {
-            let mut net = SimNet::new(Topology::ring(4), FaultPlan::none(), 21);
-            net.set_loss_per_mille(per_mille);
+            let mut net = SimNet::with_adversary(
+                Topology::ring(4),
+                FaultPlan::none(),
+                AdversaryPlan::new().loss(per_mille),
+                21,
+            );
             net.run(120_000);
             for p in net.topology().processes() {
-                assert!(
-                    net.meals_of(p) > 0,
-                    "{p} starved at {per_mille}‰ loss"
-                );
+                assert!(net.meals_of(p) > 0, "{p} starved at {per_mille}‰ loss");
             }
             assert_eq!(
                 net.violation_steps(),
@@ -439,11 +495,27 @@ mod tests {
     }
 
     #[test]
+    fn legacy_loss_setter_still_works() {
+        let mut net = SimNet::new(Topology::ring(4), FaultPlan::none(), 21);
+        net.set_loss_per_mille(200);
+        assert_eq!(net.adversary_plan().loss_per_mille(), 200);
+        net.run(100_000);
+        for p in net.topology().processes() {
+            assert!(net.meals_of(p) > 0, "{p} starved via legacy setter");
+        }
+        assert_eq!(net.violation_steps(), 0);
+    }
+
+    #[test]
     fn lost_forks_are_regenerated() {
         // Very lossy line(2): fork transfers get dropped regularly; the
         // master's regeneration keeps both sides eating.
-        let mut net = SimNet::new(Topology::line(2), FaultPlan::none(), 30);
-        net.set_loss_per_mille(500);
+        let mut net = SimNet::with_adversary(
+            Topology::line(2),
+            FaultPlan::none(),
+            AdversaryPlan::new().loss(500),
+            30,
+        );
         net.run(150_000);
         assert!(net.meals_of(ProcessId(0)) > 0);
         assert!(net.meals_of(ProcessId(1)) > 0);
@@ -459,11 +531,7 @@ mod tests {
 
     #[test]
     fn initially_dead_node_is_inert() {
-        let mut net = SimNet::new(
-            Topology::line(3),
-            FaultPlan::new().initially_dead(1),
-            2,
-        );
+        let mut net = SimNet::new(Topology::line(3), FaultPlan::new().initially_dead(1), 2);
         net.run(20_000);
         assert_eq!(net.meals_of(ProcessId(1)), 0);
         assert!(net.is_dead(ProcessId(1)));
@@ -471,5 +539,39 @@ mod tests {
         // them; with the initial fork placement p0 (master of (0,1))
         // holds that fork, so p0 can still eat.
         assert!(net.meals_of(ProcessId(0)) > 0);
+    }
+
+    #[test]
+    fn delayed_messages_wait_out_their_bound() {
+        let mut net = SimNet::with_adversary(
+            Topology::line(2),
+            FaultPlan::none(),
+            AdversaryPlan::new().delay(1000, 32),
+            13,
+        );
+        net.run(80_000);
+        assert!(net.meals_of(ProcessId(0)) > 0, "p0 starved under delay");
+        assert!(net.meals_of(ProcessId(1)) > 0, "p1 starved under delay");
+        assert_eq!(net.violation_steps(), 0, "delay broke exclusion");
+    }
+
+    #[test]
+    fn partitioned_link_heals_and_service_resumes() {
+        let mut net = SimNet::with_adversary(
+            Topology::ring(4),
+            FaultPlan::none(),
+            AdversaryPlan::new().cut_link(0, 1, 5_000, 25_000),
+            17,
+        );
+        net.run(25_000);
+        let healed_at = net.step_count();
+        net.run(60_000);
+        assert_eq!(net.violation_steps(), 0, "partition broke exclusion");
+        for p in net.topology().processes() {
+            assert!(
+                net.meals_in_window(p, healed_at, net.step_count()) > 0,
+                "{p} starved after the partition healed"
+            );
+        }
     }
 }

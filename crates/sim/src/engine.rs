@@ -17,9 +17,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 
-use crate::algorithm::{
-    ActionId, DinerAlgorithm, Move, Phase, SystemState, View, Write,
-};
+use crate::algorithm::{ActionId, DinerAlgorithm, Move, Phase, SystemState, View, Write};
 use crate::fault::{FaultKind, FaultPlan, Health};
 use crate::graph::{ProcessId, Topology};
 use crate::metrics::DinerMetrics;
@@ -485,9 +483,10 @@ impl<A: DinerAlgorithm> Engine<A> {
             match w {
                 Write::Local(l) => *self.state.local_mut(pid) = l,
                 Write::Edge { neighbor, value } => {
-                    let e = self.topo.edge_between(pid, neighbor).unwrap_or_else(|| {
-                        panic!("{} wrote edge to non-neighbor {neighbor}", pid)
-                    });
+                    let e = self
+                        .topo
+                        .edge_between(pid, neighbor)
+                        .unwrap_or_else(|| panic!("{} wrote edge to non-neighbor {neighbor}", pid));
                     *self.state.edge_mut(e) = value;
                 }
             }
@@ -496,8 +495,7 @@ impl<A: DinerAlgorithm> Engine<A> {
         let after = self.alg.phase(self.state.local(pid));
         self.last_phase[pid.index()] = after;
         if before != after {
-            self.metrics
-                .on_phase_change(pid, before, after, self.step);
+            self.metrics.on_phase_change(pid, before, after, self.step);
             if after == Phase::Eating {
                 self.workload.note_eat(pid, self.step);
             }
@@ -571,7 +569,10 @@ mod tests {
             .into_iter()
             .filter(|(s, _)| *s >= 10)
             .collect();
-        assert!(actions_after.is_empty(), "dead process acted: {actions_after:?}");
+        assert!(
+            actions_after.is_empty(),
+            "dead process acted: {actions_after:?}"
+        );
     }
 
     #[test]
@@ -691,7 +692,11 @@ mod tests {
     fn phases_and_metrics_agree() {
         let mut e = toy_engine(2);
         e.run(100);
-        let total: u64 = e.topology().processes().map(|p| e.metrics().eats_of(p)).sum();
+        let total: u64 = e
+            .topology()
+            .processes()
+            .map(|p| e.metrics().eats_of(p))
+            .sum();
         assert!(total > 0);
         // Whoever is eating now is counted in current phase queries.
         for p in e.topology().processes() {

@@ -270,8 +270,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::ProcessId;
     use crate::algorithm::Phase;
+    use crate::graph::ProcessId;
     use crate::graph::Topology;
     use crate::toy::ToyDiners;
 

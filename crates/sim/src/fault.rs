@@ -224,10 +224,7 @@ impl FaultPlan {
     pub fn kill_count(&self) -> usize {
         let mut victims: Vec<ProcessId> = self.initially_dead.clone();
         for e in &self.events {
-            if matches!(
-                e.kind,
-                FaultKind::Crash | FaultKind::MaliciousCrash { .. }
-            ) {
+            if matches!(e.kind, FaultKind::Crash | FaultKind::MaliciousCrash { .. }) {
                 victims.push(e.target);
             }
         }
@@ -237,7 +234,8 @@ impl FaultPlan {
     }
 
     fn normalize(&mut self) {
-        self.events.sort_by_key(|e| (e.at_step, e.target, kind_rank(e.kind)));
+        self.events
+            .sort_by_key(|e| (e.at_step, e.target, kind_rank(e.kind)));
     }
 }
 
@@ -267,7 +265,10 @@ mod tests {
 
     #[test]
     fn plan_sorts_events_by_step() {
-        let p = FaultPlan::new().crash(50, 1).crash(10, 2).transient_global(30);
+        let p = FaultPlan::new()
+            .crash(50, 1)
+            .crash(10, 2)
+            .transient_global(30);
         let steps: Vec<u64> = p.events().iter().map(|e| e.at_step).collect();
         assert_eq!(steps, vec![10, 30, 50]);
     }
@@ -282,11 +283,11 @@ mod tests {
 
     #[test]
     fn initially_dead_dedups_and_sorts() {
-        let p = FaultPlan::new().initially_dead(4).initially_dead(1).initially_dead(4);
-        assert_eq!(
-            p.initially_dead_processes(),
-            &[ProcessId(1), ProcessId(4)]
-        );
+        let p = FaultPlan::new()
+            .initially_dead(4)
+            .initially_dead(1)
+            .initially_dead(4);
+        assert_eq!(p.initially_dead_processes(), &[ProcessId(1), ProcessId(4)]);
     }
 
     #[test]

@@ -221,8 +221,7 @@ impl Topology {
     /// Panics if `n < 2`.
     pub fn star(n: usize) -> Self {
         assert!(n >= 2, "star requires at least 2 processes");
-        let mut t =
-            Self::from_edges(n, (1..n).map(|i| (0, i))).expect("star is a valid topology");
+        let mut t = Self::from_edges(n, (1..n).map(|i| (0, i))).expect("star is a valid topology");
         t.name = format!("star(n={n})");
         t
     }

@@ -63,7 +63,9 @@ pub mod toy;
 pub mod trace;
 pub mod workload;
 
-pub use algorithm::{ActionId, ActionKind, Algorithm, DinerAlgorithm, Move, Phase, SystemState, View, Write};
+pub use algorithm::{
+    ActionId, ActionKind, Algorithm, DinerAlgorithm, Move, Phase, SystemState, View, Write,
+};
 pub use engine::{Engine, RunSummary, StepOutcome};
 pub use fault::{FaultKind, FaultPlan, Health};
 pub use graph::{EdgeId, ProcessId, Topology};

@@ -46,18 +46,12 @@ impl<'a, A: Algorithm> Snapshot<'a, A> {
 
     /// All dead processes.
     pub fn dead_set(&self) -> Vec<ProcessId> {
-        self.topo
-            .processes()
-            .filter(|&p| self.is_dead(p))
-            .collect()
+        self.topo.processes().filter(|&p| self.is_dead(p)).collect()
     }
 
     /// All live processes.
     pub fn live_set(&self) -> Vec<ProcessId> {
-        self.topo
-            .processes()
-            .filter(|&p| self.is_live(p))
-            .collect()
+        self.topo.processes().filter(|&p| self.is_live(p)).collect()
     }
 
     /// Minimum distance from `p` to a dead process (`None` when no
@@ -156,8 +150,8 @@ impl<A: Algorithm, P: StatePredicate<A>> StatePredicate<A> for Not<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{EdgeId, Topology};
     use crate::algorithm::{ActionId, ActionKind, View, Write};
+    use crate::graph::{EdgeId, Topology};
     use rand::rngs::StdRng;
 
     struct Unit;

@@ -392,8 +392,14 @@ mod tests {
     fn round_robin_rotates_actions_within_a_process() {
         let mut s = RoundRobinScheduler::new();
         let e = vec![
-            EnabledMove { mv: mv(0, 0), age: 1 },
-            EnabledMove { mv: mv(0, 1), age: 1 },
+            EnabledMove {
+                mv: mv(0, 0),
+                age: 1,
+            },
+            EnabledMove {
+                mv: mv(0, 1),
+                age: 1,
+            },
         ];
         let a = s.pick(0, &e);
         let b = s.pick(1, &e);
@@ -430,15 +436,27 @@ mod tests {
     fn adversary_avoids_kind_until_forced() {
         let mut s = AdversarialScheduler::new(Adversary::AvoidKind(1), 5, 0);
         let e = vec![
-            EnabledMove { mv: mv(0, 0), age: 1 },
-            EnabledMove { mv: mv(1, 1), age: 1 },
+            EnabledMove {
+                mv: mv(0, 0),
+                age: 1,
+            },
+            EnabledMove {
+                mv: mv(1, 1),
+                age: 1,
+            },
         ];
         for st in 0..10 {
             assert_eq!(s.pick(st, &e), 0, "avoids kind 1 while fairness allows");
         }
         let overdue = vec![
-            EnabledMove { mv: mv(0, 0), age: 1 },
-            EnabledMove { mv: mv(1, 1), age: 5 },
+            EnabledMove {
+                mv: mv(0, 0),
+                age: 1,
+            },
+            EnabledMove {
+                mv: mv(1, 1),
+                age: 5,
+            },
         ];
         assert_eq!(s.pick(10, &overdue), 1, "fairness bound forces kind 1");
     }
@@ -449,8 +467,14 @@ mod tests {
         let e = moves(&[0, 1]);
         assert_eq!(e[s.pick(0, &e)].mv.pid, ProcessId(1));
         let overdue = vec![
-            EnabledMove { mv: mv(0, 0), age: 3 },
-            EnabledMove { mv: mv(1, 0), age: 1 },
+            EnabledMove {
+                mv: mv(0, 0),
+                age: 3,
+            },
+            EnabledMove {
+                mv: mv(1, 0),
+                age: 1,
+            },
         ];
         assert_eq!(overdue[s.pick(1, &overdue)].mv.pid, ProcessId(0));
     }
@@ -459,8 +483,14 @@ mod tests {
     fn adversary_prefers_kind() {
         let mut s = AdversarialScheduler::new(Adversary::PreferKind(2), 100, 2);
         let e = vec![
-            EnabledMove { mv: mv(0, 0), age: 1 },
-            EnabledMove { mv: mv(1, 2), age: 1 },
+            EnabledMove {
+                mv: mv(0, 0),
+                age: 1,
+            },
+            EnabledMove {
+                mv: mv(1, 2),
+                age: 1,
+            },
         ];
         assert_eq!(s.pick(0, &e), 1);
     }
@@ -469,21 +499,43 @@ mod tests {
     fn adversary_kind_order_prefers_earliest_listed() {
         let mut s = AdversarialScheduler::new(Adversary::KindOrder(vec![1, 0]), 100, 5);
         let e = vec![
-            EnabledMove { mv: mv(0, 0), age: 1 },
-            EnabledMove { mv: mv(1, 1), age: 1 },
-            EnabledMove { mv: mv(2, 2), age: 1 },
+            EnabledMove {
+                mv: mv(0, 0),
+                age: 1,
+            },
+            EnabledMove {
+                mv: mv(1, 1),
+                age: 1,
+            },
+            EnabledMove {
+                mv: mv(2, 2),
+                age: 1,
+            },
         ];
         assert_eq!(s.pick(0, &e), 1, "kind 1 listed first");
-        let only_unlisted = vec![EnabledMove { mv: mv(2, 2), age: 1 }];
-        assert_eq!(s.pick(1, &only_unlisted), 0, "unlisted kinds as last resort");
+        let only_unlisted = vec![EnabledMove {
+            mv: mv(2, 2),
+            age: 1,
+        }];
+        assert_eq!(
+            s.pick(1, &only_unlisted),
+            0,
+            "unlisted kinds as last resort"
+        );
     }
 
     #[test]
     fn adversary_newest_picks_min_age() {
         let mut s = AdversarialScheduler::new(Adversary::Newest, 100, 4);
         let e = vec![
-            EnabledMove { mv: mv(0, 0), age: 9 },
-            EnabledMove { mv: mv(1, 0), age: 1 },
+            EnabledMove {
+                mv: mv(0, 0),
+                age: 9,
+            },
+            EnabledMove {
+                mv: mv(1, 0),
+                age: 1,
+            },
         ];
         assert_eq!(s.pick(0, &e), 1);
     }

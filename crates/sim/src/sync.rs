@@ -118,9 +118,7 @@ impl<A: DinerAlgorithm> SyncEngine<A> {
             for w in self.alg.execute(&view, mv.action) {
                 match w {
                     Write::Local(l) => local_writes.push((mv.pid, l)),
-                    Write::Edge { neighbor, value } => {
-                        edge_writes.push((mv.pid, neighbor, value))
-                    }
+                    Write::Edge { neighbor, value } => edge_writes.push((mv.pid, neighbor, value)),
                 }
             }
         }

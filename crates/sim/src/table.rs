@@ -28,11 +28,14 @@ pub struct Table {
 
 impl Table {
     /// A new table with the given title and column headers.
-    pub fn new<S: Into<String>>(title: impl Into<String>, headers: impl IntoIterator<Item = S>) -> Self {
+    pub fn new<S: Into<String>>(
+        title: impl Into<String>,
+        headers: impl IntoIterator<Item = S>,
+    ) -> Self {
         Table {
             title: title.into(),
             headers: headers.into_iter().map(Into::into).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 

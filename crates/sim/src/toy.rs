@@ -13,9 +13,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::algorithm::{
-    ActionId, ActionKind, Algorithm, DinerAlgorithm, Phase, View, Write,
-};
+use crate::algorithm::{ActionId, ActionKind, Algorithm, DinerAlgorithm, Phase, View, Write};
 use crate::graph::{EdgeId, ProcessId, Topology};
 
 /// The simplest id-priority diner; see the module docs.

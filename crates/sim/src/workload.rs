@@ -191,9 +191,7 @@ mod tests {
     fn bernoulli_is_pure_and_calibrated() {
         let w = BernoulliWorkload::new(11, 1, 2);
         assert_eq!(w.needs(ProcessId(2), 5), w.needs(ProcessId(2), 5));
-        let hits = (0..10_000)
-            .filter(|&s| w.needs(ProcessId(0), s))
-            .count() as f64;
+        let hits = (0..10_000).filter(|&s| w.needs(ProcessId(0), s)).count() as f64;
         assert!((hits / 10_000.0 - 0.5).abs() < 0.03);
     }
 

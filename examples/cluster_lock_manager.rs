@@ -22,20 +22,20 @@ use malicious_diners::sim::{Engine, FaultPlan};
 fn main() {
     // 12 jobs; conflicts from shared resources (hand-built, connected).
     let conflicts = [
-        (0, 1),  // gpu-0
-        (0, 2),  // gpu-0
-        (1, 2),  // scratch disk A
-        (2, 3),  // table: users
-        (3, 4),  // table: events
-        (4, 5),  // gpu-1
-        (4, 6),  // gpu-1
-        (5, 6),  // scratch disk B
-        (6, 7),  // table: sessions
-        (7, 8),  // gpu-2
-        (8, 9),  // table: metrics
-        (9, 10), // scratch disk C
-        (10, 11),// gpu-3
-        (3, 7),  // shared cache line
+        (0, 1),   // gpu-0
+        (0, 2),   // gpu-0
+        (1, 2),   // scratch disk A
+        (2, 3),   // table: users
+        (3, 4),   // table: events
+        (4, 5),   // gpu-1
+        (4, 6),   // gpu-1
+        (5, 6),   // scratch disk B
+        (6, 7),   // table: sessions
+        (7, 8),   // gpu-2
+        (8, 9),   // table: metrics
+        (9, 10),  // scratch disk C
+        (10, 11), // gpu-3
+        (3, 7),   // shared cache line
     ];
     let topo = Topology::from_edges(12, conflicts).expect("conflict graph is valid");
     println!(

@@ -22,11 +22,23 @@ fn main() {
     }
     println!();
     println!("  e eats after the cycle breaks : {}", report.e_eats);
-    println!("  b blocked hungry (distance 1) : {}", report.b_still_hungry);
-    println!("  c blocked thinking (distance 1): {}", report.c_still_thinking);
+    println!(
+        "  b blocked hungry (distance 1) : {}",
+        report.b_still_hungry
+    );
+    println!(
+        "  c blocked thinking (distance 1): {}",
+        report.c_still_thinking
+    );
     println!("  d yielded via leave (distance 2): {}", report.d_yielded);
-    println!("  depth:g exceeded D (cycle!)    : {}", report.g_detected_cycle);
-    println!("  affected radius               : {:?}", report.affected_radius);
+    println!(
+        "  depth:g exceeded D (cycle!)    : {}",
+        report.g_detected_cycle
+    );
+    println!(
+        "  affected radius               : {:?}",
+        report.affected_radius
+    );
     assert!(report.all_reproduced());
 
     println!("\n=== Same topology, random daemon, long run ===\n");

@@ -1,6 +1,7 @@
 //! The §4 message-passing transformation running on real OS threads:
 //! one thread per philosopher, crossbeam channels as links, the K-state
-//! handshake keeping every link alive and exactly-once.
+//! handshake keeping every link alive and exactly-once — under a hostile
+//! network (loss, duplication, delay, reordering on every link).
 //!
 //! ```sh
 //! cargo run --release --example message_passing_demo
@@ -8,19 +9,25 @@
 
 use std::time::Duration;
 
-use malicious_diners::mp::ThreadRuntime;
+use malicious_diners::mp::{AdversaryPlan, ThreadRuntime};
 use malicious_diners::sim::graph::{ProcessId, Topology};
 
 fn main() {
     let topo = Topology::ring(6);
+    let plan = AdversaryPlan::new()
+        .loss(100)
+        .duplication(100)
+        .delay(150, 4)
+        .reorder(100);
     println!(
-        "spawning {} philosopher threads on a {} ...",
+        "spawning {} philosopher threads on a {} behind a network adversary ({}) ...",
         topo.len(),
-        topo.name()
+        topo.name(),
+        plan.describe()
     );
-    let rt = ThreadRuntime::spawn(topo, Duration::from_micros(200), 1);
+    let rt = ThreadRuntime::spawn_with_adversary(topo, Duration::from_micros(200), plan, 1);
 
-    println!("fault-free for 300 ms, sampling exclusion every 100 µs ...");
+    println!("process-fault-free for 300 ms, sampling exclusion every 100 µs ...");
     let violations = rt.observe(Duration::from_millis(300), Duration::from_micros(100));
     let baseline: Vec<u64> = rt.topology().processes().map(|p| rt.meals_of(p)).collect();
     println!("  sampled exclusion violations: {violations}");

@@ -86,7 +86,11 @@ fn parse(args: &[String]) -> Opts {
     };
     let mut i = 0;
     while i < args.len() {
-        let need = |i: usize| args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage());
+        let need = |i: usize| {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
         match args[i].as_str() {
             "--topo" => {
                 o.topo = parse_topo(need(i)).unwrap_or_else(|| usage());

@@ -96,3 +96,19 @@ fn t7_message_passing_table() {
         assert!(line.ends_with(",none"), "{line}");
     }
 }
+
+#[test]
+fn t9_chaos_table() {
+    // The dense random family needs post-outage runway and a full-length
+    // measurement window under heavy noise: service still happens, just
+    // stretched.
+    let scale = Scale {
+        settle: 10_000,
+        window: 20_000,
+        ..tiny()
+    };
+    let (t, totals) = experiments::chaos::sweep(&scale);
+    assert_eq!(t.len(), 4, "four topology families");
+    assert!(totals.runs >= 12, "too few chaos runs: {}", totals.runs);
+    assert!(totals.clean(), "chaos sweep failed:\n{}", t.render());
+}

@@ -1,9 +1,7 @@
 //! Integration: the paper's Figure 2 reproduces end-to-end through the
 //! public umbrella API.
 
-use malicious_diners::core::figures::{
-    fig2_engine, fig2_topology, run_figure2, A, B, C, D, E, G,
-};
+use malicious_diners::core::figures::{fig2_engine, fig2_topology, run_figure2, A, B, C, D, E, G};
 use malicious_diners::core::redgreen::{affected_radius, Colors};
 use malicious_diners::sim::Phase;
 

@@ -1,75 +1,84 @@
-//! Property-based tests: the paper's invariants over randomized
+//! Property-style tests: the paper's invariants over randomized
 //! topologies, fault plans and schedules.
+//!
+//! Each property sweeps a deterministic, seeded sample of the
+//! configuration space (topology family x scheduler x seed) rather than
+//! using an external property-testing framework — the build environment
+//! is offline, and seeded sweeps keep every failure exactly reproducible
+//! from the printed case description alone.
 
-use proptest::prelude::*;
+use rand::Rng;
 
 use malicious_diners::core::predicates::{self, Invariant, NoLiveCycles};
 use malicious_diners::core::redgreen::{affected_radius, Colors};
 use malicious_diners::core::MaliciousCrashDiners;
 use malicious_diners::sim::graph::Topology;
 use malicious_diners::sim::predicate::StatePredicate;
+use malicious_diners::sim::rng;
 use malicious_diners::sim::scheduler::{
-    Adversary, AdversarialScheduler, LeastRecentScheduler, RandomScheduler, RoundRobinScheduler,
+    AdversarialScheduler, Adversary, LeastRecentScheduler, RandomScheduler, RoundRobinScheduler,
     Scheduler,
 };
 use malicious_diners::sim::{Engine, FaultPlan};
 
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    (4usize..12, any::<u64>()).prop_flat_map(|(n, seed)| {
-        prop_oneof![
-            Just(Topology::ring(n)),
-            Just(Topology::line(n)),
-            Just(Topology::binary_tree(n)),
-            Just(Topology::random_connected(n, 0.25, seed)),
-        ]
-    })
+/// Cases per property (mirrors the old proptest `cases: 24`).
+const CASES: u64 = 24;
+
+/// A deterministically sampled topology, labeled for failure messages.
+fn sample_topology(r: &mut rand::rngs::StdRng) -> Topology {
+    let n = r.gen_range(4usize..12);
+    let seed = r.gen::<u64>();
+    match r.gen_range(0..4) {
+        0 => Topology::ring(n),
+        1 => Topology::line(n),
+        2 => Topology::binary_tree(n),
+        _ => Topology::random_connected(n, 0.25, seed),
+    }
 }
 
-fn arb_scheduler() -> impl Strategy<Value = Boxed> {
-    (0usize..4, any::<u64>()).prop_map(|(kind, seed)| {
-        Boxed(match kind {
-            0 => Box::new(RandomScheduler::new(seed)) as Box<dyn Scheduler>,
-            1 => Box::new(LeastRecentScheduler::new()),
-            2 => Box::new(RoundRobinScheduler::new()),
-            _ => Box::new(AdversarialScheduler::new(Adversary::Newest, 32, seed)),
-        })
-    })
+/// A deterministically sampled scheduler.
+fn sample_scheduler(r: &mut rand::rngs::StdRng) -> Box<dyn Scheduler> {
+    let seed = r.gen::<u64>();
+    match r.gen_range(0..4) {
+        0 => Box::new(RandomScheduler::new(seed)),
+        1 => Box::new(LeastRecentScheduler::new()),
+        2 => Box::new(RoundRobinScheduler::new()),
+        _ => Box::new(AdversarialScheduler::new(Adversary::Newest, 32, seed)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, .. ProptestConfig::default()
-    })]
-
-    /// The red set never reaches beyond distance 2 of the dead set, in
-    /// any state whatsoever (arbitrary corruption, arbitrary deaths).
-    #[test]
-    fn red_radius_at_most_two_in_any_state(
-        topo in arb_topology(),
-        seed in any::<u64>(),
-        victims in prop::collection::vec(0usize..12, 0..3),
-    ) {
+/// The red set never reaches beyond distance 2 of the dead set, in any
+/// state whatsoever (arbitrary corruption, arbitrary deaths).
+#[test]
+fn red_radius_at_most_two_in_any_state() {
+    for case in 0..CASES {
+        let mut r = rng::rng(rng::subseed(0xA1, case));
+        let topo = sample_topology(&mut r);
+        let seed = r.gen::<u64>();
         let mut plan = FaultPlan::new().from_arbitrary_state();
-        for v in victims {
-            plan = plan.initially_dead(v % topo.len());
+        for _ in 0..r.gen_range(0..3) {
+            plan = plan.initially_dead(r.gen_range(0..topo.len()));
         }
-        let engine = Engine::builder(MaliciousCrashDiners::paper(), topo)
+        let engine = Engine::builder(MaliciousCrashDiners::paper(), topo.clone())
             .faults(plan)
             .seed(seed)
             .build();
-        if let Some(r) = affected_radius(&engine.snapshot()) {
-            prop_assert!(r <= 2, "red radius {r}");
+        if let Some(rad) = affected_radius(&engine.snapshot()) {
+            assert!(rad <= 2, "case {case} ({}): red radius {rad}", topo.name());
         }
     }
+}
 
-    /// From an arbitrary state, under any daemon, the corrected-bound
-    /// invariant is reached and two live neighbors never eat afterwards.
-    #[test]
-    fn stabilization_under_every_daemon(
-        topo in arb_topology(),
-        sched in arb_scheduler(),
-        seed in any::<u64>(),
-    ) {
+/// From an arbitrary state, under any daemon, the corrected-bound
+/// invariant is reached and two live neighbors never eat afterwards.
+#[test]
+fn stabilization_under_every_daemon() {
+    for case in 0..CASES {
+        let mut r = rng::rng(rng::subseed(0xA2, case));
+        let topo = sample_topology(&mut r);
+        let sched = Boxed(sample_scheduler(&mut r));
+        let seed = r.gen::<u64>();
+        let desc = format!("case {case} ({}, {})", topo.name(), sched.name());
         let alg = MaliciousCrashDiners::corrected();
         let inv = Invariant::for_algorithm(&alg);
         let mut engine = Engine::builder(alg, topo)
@@ -78,7 +87,7 @@ proptest! {
             .seed(seed)
             .build();
         let converged = engine.convergence_step(&inv, 60_000);
-        prop_assert!(converged.is_some(), "no convergence");
+        assert!(converged.is_some(), "{desc}: no convergence");
         let since = engine.step_count();
         engine.run(5_000);
         let late = engine
@@ -87,16 +96,19 @@ proptest! {
             .iter()
             .filter(|&&s| s >= since)
             .count();
-        prop_assert_eq!(late, 0);
+        assert_eq!(late, 0, "{desc}: {late} violations after convergence");
     }
+}
 
-    /// NC is closed: once the live priority graph is acyclic it stays so
-    /// (exits only ever direct all edges toward the exiting process).
-    #[test]
-    fn nc_is_closed(
-        topo in arb_topology(),
-        seed in any::<u64>(),
-    ) {
+/// NC is closed: once the live priority graph is acyclic it stays so
+/// (exits only ever direct all edges toward the exiting process).
+#[test]
+fn nc_is_closed() {
+    for case in 0..CASES {
+        let mut r = rng::rng(rng::subseed(0xA3, case));
+        let topo = sample_topology(&mut r);
+        let seed = r.gen::<u64>();
+        let desc = format!("case {case} ({})", topo.name());
         let mut engine = Engine::builder(MaliciousCrashDiners::paper(), topo)
             .scheduler(RandomScheduler::new(seed))
             .faults(FaultPlan::new().from_arbitrary_state())
@@ -107,19 +119,22 @@ proptest! {
             engine.step();
             let acyclic = NoLiveCycles.holds(&engine.snapshot());
             if was_acyclic {
-                prop_assert!(acyclic, "NC was violated after holding");
+                assert!(acyclic, "{desc}: NC was violated after holding");
             }
             was_acyclic = acyclic;
         }
     }
+}
 
-    /// The E predicate converges: the number of live eating pairs never
-    /// increases, and hits zero.
-    #[test]
-    fn eating_pairs_drain_monotonically(
-        topo in arb_topology(),
-        seed in any::<u64>(),
-    ) {
+/// The E predicate converges: the number of live eating pairs never
+/// increases, and hits zero.
+#[test]
+fn eating_pairs_drain_monotonically() {
+    for case in 0..CASES {
+        let mut r = rng::rng(rng::subseed(0xA4, case));
+        let topo = sample_topology(&mut r);
+        let seed = r.gen::<u64>();
+        let desc = format!("case {case} ({})", topo.name());
         let mut engine = Engine::builder(MaliciousCrashDiners::paper(), topo)
             .scheduler(RandomScheduler::new(seed))
             .faults(FaultPlan::new().from_arbitrary_state())
@@ -129,19 +144,25 @@ proptest! {
         for _ in 0..4_000 {
             engine.step();
             let (now, _) = engine.eating_pairs();
-            prop_assert!(now <= prev, "eating pairs increased {prev} -> {now}");
+            assert!(
+                now <= prev,
+                "{desc}: eating pairs increased {prev} -> {now}"
+            );
             prev = now;
         }
-        prop_assert_eq!(prev, 0, "eating pairs never drained");
+        assert_eq!(prev, 0, "{desc}: eating pairs never drained");
     }
+}
 
-    /// Green processes are exactly the ones that keep eating; red ones
-    /// never eat (after the system settles with some processes dead).
-    #[test]
-    fn colors_predict_service(
-        seed in any::<u64>(),
-        victim in 0usize..10,
-    ) {
+/// Green processes are exactly the ones that keep eating; red ones never
+/// eat (after the system settles with some processes dead).
+#[test]
+fn colors_predict_service() {
+    for case in 0..CASES {
+        let mut r = rng::rng(rng::subseed(0xA5, case));
+        let seed = r.gen::<u64>();
+        let victim = r.gen_range(0usize..10);
+        let desc = format!("case {case} (victim {victim})");
         let topo = Topology::ring(10);
         let mut engine = Engine::builder(MaliciousCrashDiners::paper(), topo)
             .scheduler(RandomScheduler::new(seed))
@@ -156,22 +177,24 @@ proptest! {
             if engine.is_dead(p) {
                 continue;
             }
-            let meals = engine.metrics().eats_in_window(p, since, engine.step_count());
+            let meals = engine
+                .metrics()
+                .eats_in_window(p, since, engine.step_count());
             if colors.is_red(p) {
-                prop_assert_eq!(meals, 0, "red {} ate", p);
+                assert_eq!(meals, 0, "{desc}: red {p} ate");
             } else {
-                prop_assert!(meals > 0, "green {} starved", p);
+                assert!(meals > 0, "{desc}: green {p} starved");
             }
         }
         // Safety after the malicious window, always.
         let snap = engine.snapshot();
-        prop_assert!(predicates::e_holds(&snap));
+        assert!(predicates::e_holds(&snap), "{desc}: E violated at the end");
     }
 }
 
 // -- helpers ---------------------------------------------------------------
 
-/// Adapter letting a generated `Box<dyn Scheduler>` be installed through
+/// Adapter letting a sampled `Box<dyn Scheduler>` be installed through
 /// the builder's `impl Scheduler` parameter.
 struct Boxed(Box<dyn Scheduler>);
 
@@ -185,11 +208,5 @@ impl Scheduler for Boxed {
     }
     fn name(&self) -> &str {
         self.0.name()
-    }
-}
-
-impl std::fmt::Debug for Boxed {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Boxed({})", self.0.name())
     }
 }

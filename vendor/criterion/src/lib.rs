@@ -1,0 +1,151 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace
+//! uses. It runs each benchmark closure a small, fixed number of times and
+//! prints a ns/iter estimate — enough for `cargo bench` smoke runs and for
+//! `--all-targets` builds to compile, without the real crate's dependency
+//! tree (unavailable: the build environment has no network access).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// An opaque-to-the-optimizer identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            _c: self,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), DEFAULT_SAMPLES, &mut f);
+        self
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.samples, &mut f);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, samples: usize, f: &mut impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: samples as u64,
+        elapsed_ns: 0,
+        measured_iters: 0,
+    };
+    f(&mut b);
+    if let Some(per_iter) = b.elapsed_ns.checked_div(b.measured_iters) {
+        println!("bench {label:<50} {per_iter:>12} ns/iter");
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+    measured_iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` over a fixed number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.measured_iters += self.iters;
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("inner", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 3);
+    }
+}

@@ -4,9 +4,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use diners_core::MaliciousCrashDiners;
-use diners_sim::engine::Engine;
+use diners_sim::engine::{Engine, EnumerationMode};
 use diners_sim::graph::Topology;
 use diners_sim::scheduler::{LeastRecentScheduler, RandomScheduler};
+use diners_sim::workload::AlwaysHungry;
 
 fn engine_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine-steps");
@@ -37,6 +38,30 @@ fn engine_steps(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR's headline comparison: naive vs incremental enumeration on a
+/// large ring under full contention (the acceptance target is ≥10×
+/// incremental over naive on ring(256)).
+fn enumeration_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration-modes");
+    for (name, mode) in [
+        ("naive", EnumerationMode::Naive),
+        ("incremental", EnumerationMode::Incremental),
+    ] {
+        group.bench_function(format!("ring256/{name}"), |b| {
+            let mut engine = Engine::builder(MaliciousCrashDiners::paper(), Topology::ring(256))
+                .workload(AlwaysHungry)
+                .scheduler(RandomScheduler::new(1))
+                .seed(1)
+                .enumeration(mode)
+                .build();
+            b.iter(|| {
+                black_box(engine.step());
+            });
+        });
+    }
+    group.finish();
+}
+
 fn move_enumeration(c: &mut Criterion) {
     let engine = Engine::builder(MaliciousCrashDiners::paper(), Topology::grid(8, 8))
         .seed(2)
@@ -46,5 +71,5 @@ fn move_enumeration(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, engine_steps, move_enumeration);
+criterion_group!(benches, engine_steps, enumeration_modes, move_enumeration);
 criterion_main!(benches);

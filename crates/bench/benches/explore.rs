@@ -1,0 +1,119 @@
+//! Explorer benchmarks: state throughput of the exhaustive search,
+//! sequential vs parallel frontier expansion.
+//!
+//! Each iteration runs a complete search (exploration has no meaningful
+//! "single step"), so the sample counts are kept small.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use diners_core::MaliciousCrashDiners;
+use diners_sim::algorithm::SystemState;
+use diners_sim::explore::{explore, explore_parallel, Limits};
+use diners_sim::fault::Health;
+use diners_sim::graph::Topology;
+use diners_sim::predicate::Snapshot;
+use diners_sim::toy::ToyDiners;
+
+fn explore_toy(c: &mut Criterion) {
+    let topo = Topology::ring(10);
+    let n = topo.len();
+    let health = vec![Health::Live; n];
+    let needs = vec![true; n];
+    let safety = |_: &Snapshot<'_, ToyDiners>| true;
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("explore-toy-ring10");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let initial = SystemState::initial(&ToyDiners, &topo);
+            black_box(
+                explore(
+                    &ToyDiners,
+                    &topo,
+                    initial,
+                    &health,
+                    &needs,
+                    safety,
+                    Limits::default(),
+                )
+                .states,
+            )
+        });
+    });
+    group.bench_function(format!("parallel-{threads}"), |b| {
+        b.iter(|| {
+            let initial = SystemState::initial(&ToyDiners, &topo);
+            black_box(
+                explore_parallel(
+                    &ToyDiners,
+                    &topo,
+                    initial,
+                    &health,
+                    &needs,
+                    safety,
+                    Limits::default(),
+                    threads,
+                )
+                .states,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn explore_mca(c: &mut Criterion) {
+    let alg = MaliciousCrashDiners::paper();
+    let topo = Topology::line(4);
+    let n = topo.len();
+    let health = vec![Health::Live; n];
+    let needs = vec![true; n];
+    let safety = |_: &Snapshot<'_, MaliciousCrashDiners>| true;
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("explore-mca-line4");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let initial = SystemState::initial(&alg, &topo);
+            black_box(
+                explore(
+                    &alg,
+                    &topo,
+                    initial,
+                    &health,
+                    &needs,
+                    safety,
+                    Limits::default(),
+                )
+                .states,
+            )
+        });
+    });
+    group.bench_function(format!("parallel-{threads}"), |b| {
+        b.iter(|| {
+            let initial = SystemState::initial(&alg, &topo);
+            black_box(
+                explore_parallel(
+                    &alg,
+                    &topo,
+                    initial,
+                    &health,
+                    &needs,
+                    safety,
+                    Limits::default(),
+                    threads,
+                )
+                .states,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, explore_toy, explore_mca);
+criterion_main!(benches);

@@ -33,4 +33,10 @@ fn main() {
         chaos_totals.clean(),
         "chaos sweep found a safety/liveness failure"
     );
+
+    let perf = diners_bench::experiments::perf::run(quick);
+    println!("{}", perf.engine);
+    println!("{}", perf.explore);
+    std::fs::write("BENCH_engine.json", &perf.json).expect("write benchmark JSON");
+    println!("wrote BENCH_engine.json");
 }

@@ -1,0 +1,23 @@
+//! T10 — engine and explorer throughput. Prints the result tables and
+//! writes the machine-readable benchmark JSON.
+//!
+//! Flags:
+//!   --quick       reduced sizes and time budgets (CI smoke)
+//!   --out PATH    where to write the JSON (default BENCH_engine.json)
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let report = diners_bench::experiments::perf::run(quick);
+    println!("{}", report.engine);
+    println!("{}", report.explore);
+    std::fs::write(&out, &report.json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

@@ -11,5 +11,6 @@ pub mod locality;
 pub mod malicious;
 pub mod masking;
 pub mod message_passing;
+pub mod perf;
 pub mod stabilization;
 pub mod throughput;

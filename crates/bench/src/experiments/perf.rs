@@ -1,0 +1,309 @@
+//! T10 — substrate performance: engine step throughput (naive vs
+//! incremental enumeration) and explorer state throughput (sequential vs
+//! parallel frontier expansion).
+//!
+//! Unlike T1–T9 this measures the *reproduction infrastructure*, not the
+//! paper's claims: the incremental engine and the parallel explorer are
+//! proven bit-identical to their naive counterparts by the differential
+//! suite (`crates/sim/tests/incremental_equiv.rs`), so the only question
+//! left is how much faster they are. Results are also emitted as
+//! machine-readable JSON (`BENCH_engine.json`) so CI can archive them.
+//!
+//! Measurement is adaptive: each configuration runs in fixed-size step
+//! chunks until a minimum wall-clock budget is spent, then reports the
+//! observed rate — robust to machines of very different speeds without
+//! hardcoded iteration counts.
+
+use std::time::{Duration, Instant};
+
+use diners_core::MaliciousCrashDiners;
+use diners_sim::algorithm::{DinerAlgorithm, SystemState};
+use diners_sim::engine::{Engine, EnumerationMode};
+use diners_sim::explore::{explore, explore_parallel, ExplorationReport, Limits};
+use diners_sim::fault::Health;
+use diners_sim::graph::Topology;
+use diners_sim::scheduler::RandomScheduler;
+use diners_sim::table::{fmt_f64, Table};
+use diners_sim::toy::ToyDiners;
+use diners_sim::workload::AlwaysHungry;
+
+use crate::common::families;
+
+/// Everything T10 produces: human tables plus the JSON blob for CI.
+pub struct PerfReport {
+    /// Engine steps/sec per family × size × enumeration mode.
+    pub engine: Table,
+    /// Explorer states/sec, sequential vs parallel.
+    pub explore: Table,
+    /// The same numbers as machine-readable JSON (`BENCH_engine.json`).
+    pub json: String,
+}
+
+/// Topology family label: the `name()` prefix before the parameters,
+/// e.g. `"ring(16)"` → `"ring"`.
+fn family_of(topo: &Topology) -> &str {
+    topo.name().split('(').next().unwrap_or("?")
+}
+
+/// Steps/sec of `engine`, measured adaptively: chunks of `CHUNK` steps
+/// until at least `budget` wall-clock has elapsed (always ≥ 1 chunk).
+fn steps_per_sec<A: DinerAlgorithm>(engine: &mut Engine<A>, budget: Duration) -> (f64, u64) {
+    const CHUNK: u64 = 1_000;
+    engine.run(CHUNK); // warmup: populate caches, fault state, branch predictors
+    let start = Instant::now();
+    let mut steps = 0u64;
+    loop {
+        engine.run(CHUNK);
+        steps += CHUNK;
+        let elapsed = start.elapsed();
+        if elapsed >= budget {
+            return (steps as f64 / elapsed.as_secs_f64(), steps);
+        }
+    }
+}
+
+fn engine_for(topo: &Topology, mode: EnumerationMode) -> Engine<MaliciousCrashDiners> {
+    Engine::builder(MaliciousCrashDiners::paper(), topo.clone())
+        .workload(AlwaysHungry)
+        .scheduler(RandomScheduler::new(7))
+        .seed(7)
+        .enumeration(mode)
+        .build()
+}
+
+fn explore_toy(topo: &Topology, threads: Option<usize>) -> ExplorationReport {
+    let n = topo.len();
+    let initial = SystemState::initial(&ToyDiners, topo);
+    let health = vec![Health::Live; n];
+    let needs = vec![true; n];
+    let safety = |_: &diners_sim::predicate::Snapshot<'_, ToyDiners>| true;
+    match threads {
+        None => explore(
+            &ToyDiners,
+            topo,
+            initial,
+            &health,
+            &needs,
+            safety,
+            Limits::default(),
+        ),
+        Some(t) => explore_parallel(
+            &ToyDiners,
+            topo,
+            initial,
+            &health,
+            &needs,
+            safety,
+            Limits::default(),
+            t,
+        ),
+    }
+}
+
+fn explore_mca(topo: &Topology, threads: Option<usize>) -> ExplorationReport {
+    let n = topo.len();
+    let alg = MaliciousCrashDiners::paper();
+    let initial = SystemState::initial(&alg, topo);
+    let health = vec![Health::Live; n];
+    let needs = vec![true; n];
+    let safety = |_: &diners_sim::predicate::Snapshot<'_, MaliciousCrashDiners>| true;
+    match threads {
+        None => explore(
+            &alg,
+            topo,
+            initial,
+            &health,
+            &needs,
+            safety,
+            Limits::default(),
+        ),
+        Some(t) => explore_parallel(
+            &alg,
+            topo,
+            initial,
+            &health,
+            &needs,
+            safety,
+            Limits::default(),
+            t,
+        ),
+    }
+}
+
+/// Run the T10 sweep. `quick` shrinks sizes and time budgets so the
+/// sweep fits in integration tests and CI smoke runs.
+pub fn run(quick: bool) -> PerfReport {
+    let budget = if quick {
+        Duration::from_millis(100)
+    } else {
+        Duration::from_millis(500)
+    };
+    let sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256] };
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+
+    let mut engine_table = Table::new(
+        format!("T10: engine steps/sec, naive vs incremental (budget {budget:?}/cell)"),
+        ["family", "n", "naive st/s", "incr st/s", "speedup"],
+    );
+    let mut json_engine = Vec::new();
+
+    for &n in sizes {
+        for topo in families(n, 42) {
+            let (naive_rate, naive_steps) =
+                steps_per_sec(&mut engine_for(&topo, EnumerationMode::Naive), budget);
+            let (incr_rate, incr_steps) =
+                steps_per_sec(&mut engine_for(&topo, EnumerationMode::Incremental), budget);
+            engine_table.row([
+                family_of(&topo).to_string(),
+                topo.len().to_string(),
+                fmt_f64(naive_rate, 0),
+                fmt_f64(incr_rate, 0),
+                fmt_f64(incr_rate / naive_rate, 2),
+            ]);
+            json_engine.push(format!(
+                concat!(
+                    "{{\"family\":\"{}\",\"n\":{},",
+                    "\"naive_steps_per_sec\":{:.1},\"naive_steps\":{},",
+                    "\"incremental_steps_per_sec\":{:.1},\"incremental_steps\":{},",
+                    "\"speedup\":{:.3}}}"
+                ),
+                family_of(&topo),
+                topo.len(),
+                naive_rate,
+                naive_steps,
+                incr_rate,
+                incr_steps,
+                incr_rate / naive_rate,
+            ));
+        }
+    }
+
+    let mut explore_table = Table::new(
+        format!("T10: explorer states/sec, sequential vs {threads}-thread parallel"),
+        ["case", "states", "seq st/s", "par st/s", "speedup"],
+    );
+    let mut json_explore = Vec::new();
+
+    let toy_topo = if quick {
+        Topology::ring(9)
+    } else {
+        Topology::ring(12)
+    };
+    let mca_topo = if quick {
+        Topology::line(3)
+    } else {
+        Topology::line(4)
+    };
+    let cases: [(String, ExplorationReport, ExplorationReport); 2] = [
+        (
+            format!("toy-{}", toy_topo.name()),
+            explore_toy(&toy_topo, None),
+            explore_toy(&toy_topo, Some(threads)),
+        ),
+        (
+            format!("mca-{}", mca_topo.name()),
+            explore_mca(&mca_topo, None),
+            explore_mca(&mca_topo, Some(threads)),
+        ),
+    ];
+    for (case, seq, par) in cases {
+        assert_eq!(seq.states, par.states, "{case}: searches must agree");
+        let speedup = if seq.states_per_sec() > 0.0 {
+            par.states_per_sec() / seq.states_per_sec()
+        } else {
+            1.0
+        };
+        explore_table.row([
+            case.clone(),
+            seq.states.to_string(),
+            fmt_f64(seq.states_per_sec(), 0),
+            fmt_f64(par.states_per_sec(), 0),
+            fmt_f64(speedup, 2),
+        ]);
+        json_explore.push(format!(
+            concat!(
+                "{{\"case\":\"{}\",\"states\":{},",
+                "\"seq_states_per_sec\":{:.1},\"seq_elapsed_ms\":{:.2},",
+                "\"par_states_per_sec\":{:.1},\"par_elapsed_ms\":{:.2},",
+                "\"par_threads\":{},\"speedup\":{:.3}}}"
+            ),
+            case,
+            seq.states,
+            seq.states_per_sec(),
+            seq.elapsed.as_secs_f64() * 1e3,
+            par.states_per_sec(),
+            par.elapsed.as_secs_f64() * 1e3,
+            par.threads,
+            speedup,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"quick\": {},\n  \"available_parallelism\": {},\n",
+            "  \"engine\": [\n    {}\n  ],\n",
+            "  \"explore\": [\n    {}\n  ]\n}}\n"
+        ),
+        quick,
+        threads,
+        json_engine.join(",\n    "),
+        json_explore.join(",\n    "),
+    );
+
+    PerfReport {
+        engine: engine_table,
+        explore: explore_table,
+        json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_tables_and_well_formed_json() {
+        let report = run(true);
+        let engine = report.engine.render();
+        assert!(engine.contains("ring"), "{engine}");
+        let explore = report.explore.render();
+        assert!(explore.contains("toy-ring"), "{explore}");
+        // Hand-rolled JSON: check the shape without a parser dependency.
+        let json = &report.json;
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        for key in [
+            "\"quick\": true",
+            "\"engine\":",
+            "\"explore\":",
+            "\"naive_steps_per_sec\"",
+            "\"incremental_steps_per_sec\"",
+            "\"seq_states_per_sec\"",
+            "\"par_states_per_sec\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+    }
+
+    #[test]
+    fn incremental_engine_beats_naive_at_scale() {
+        // The headline claim, at a size small enough for tests: the
+        // incremental engine must be strictly faster than the naive one
+        // on a ring under full contention.
+        let budget = Duration::from_millis(80);
+        let topo = Topology::ring(64);
+        let (naive, _) = steps_per_sec(&mut engine_for(&topo, EnumerationMode::Naive), budget);
+        let (incr, _) = steps_per_sec(&mut engine_for(&topo, EnumerationMode::Incremental), budget);
+        assert!(
+            incr > naive,
+            "incremental ({incr:.0} st/s) not faster than naive ({naive:.0} st/s)"
+        );
+    }
+}

@@ -15,6 +15,7 @@
 //! | T7   | §4 message-passing transformation       | [`experiments::message_passing`] |
 //! | T8   | daemon robustness (synchronous rounds)  | [`experiments::daemons`] |
 //! | T9   | chaos soak — randomized link faults     | [`experiments::chaos`] |
+//! | T10  | substrate perf — engine & explorer      | [`experiments::perf`] |
 //!
 //! Run them all with `cargo run -p diners-bench --release --bin exp-all`,
 //! or individually via the `exp-*` binaries.

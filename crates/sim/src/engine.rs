@@ -12,6 +12,29 @@
 //!
 //! Runs are fully deterministic given the seed, the scheduler and the
 //! fault plan.
+//!
+//! # Enumeration modes
+//!
+//! The engine has two interchangeable hot paths selected by
+//! [`EnumerationMode`]:
+//!
+//! * [`EnumerationMode::Naive`] re-derives everything from scratch each
+//!   step — every guard of every process, the fairness-age map, the
+//!   edge-scan exclusion monitor. It is the executable specification.
+//! * [`EnumerationMode::Incremental`] (the default) exploits the model's
+//!   locality: a step or fault at `p` can only change guard values inside
+//!   `p`'s closed neighborhood (guards read a process's own local,
+//!   neighbor locals and incident edge variables; `p` writes only its own
+//!   local and incident edges — malicious steps included). The engine
+//!   keeps a per-process cache of enabled moves and re-enumerates only
+//!   the *dirty* processes, tracks fairness ages in a dense `Vec` indexed
+//!   by `(pid, kind, slot)`, and maintains the eating-pairs monitor as
+//!   running counters updated on phase transitions.
+//!
+//! Both modes produce bit-identical runs — same `StepOutcome` sequence,
+//! metrics, traces and RNG consumption — which
+//! `crates/sim/tests/incremental_equiv.rs` verifies over topology ×
+//! seed × scheduler × fault-plan sweeps.
 
 use std::collections::HashMap;
 
@@ -48,6 +71,132 @@ pub struct RunSummary {
     pub quiescent: u64,
 }
 
+/// How the engine computes the enabled-move set each step; see the
+/// module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EnumerationMode {
+    /// Full re-enumeration every step — the executable specification the
+    /// differential tests compare against.
+    Naive,
+    /// Dirty-set invalidation of per-process caches (default).
+    #[default]
+    Incremental,
+}
+
+/// Sentinel in the dense age table: the move is not currently enabled.
+const NOT_ENABLED: u64 = u64::MAX;
+
+/// Dense "first continuously enabled at step" table, indexed by
+/// `(pid, action kind, neighbor slot)` with one extra slot per process
+/// for the malicious pseudo-move, so admit/evict/lookup are O(1) array
+/// accesses instead of `HashMap` operations.
+struct AgeTable {
+    kinds: usize,
+    /// Start of each process's slot block; `base[n]` is the table size.
+    /// The last slot of every block is the malicious pseudo-move.
+    base: Vec<usize>,
+    /// Start of each `(process, kind)` run inside the process block,
+    /// flattened as `kind_base[p * kinds + kind]`.
+    kind_base: Vec<usize>,
+    ages: Vec<u64>,
+}
+
+impl AgeTable {
+    fn new(topo: &Topology, kinds: &[crate::algorithm::ActionKind]) -> Self {
+        let n = topo.len();
+        let k = kinds.len();
+        let mut base = Vec::with_capacity(n + 1);
+        let mut kind_base = Vec::with_capacity(n * k);
+        let mut off = 0usize;
+        for p in 0..n {
+            base.push(off);
+            let deg = topo.degree(ProcessId(p));
+            for kind in kinds {
+                kind_base.push(off);
+                off += if kind.per_neighbor { deg } else { 1 };
+            }
+            off += 1; // malicious pseudo-move
+        }
+        base.push(off);
+        AgeTable {
+            kinds: k,
+            base,
+            kind_base,
+            ages: vec![NOT_ENABLED; off],
+        }
+    }
+
+    /// Table index of a move. Strictly increasing along each process's
+    /// enumeration order, and process-major overall — reconciliation
+    /// relies on this to merge old/new cache lists with two pointers.
+    #[inline]
+    fn index(&self, mv: Move) -> usize {
+        let p = mv.pid.index();
+        if mv.action.is_malicious() {
+            self.base[p + 1] - 1
+        } else {
+            self.kind_base[p * self.kinds + mv.action.kind] + mv.action.slot.unwrap_or(0)
+        }
+    }
+
+    /// The step at which `mv` became continuously enabled.
+    #[inline]
+    fn first_enabled(&self, mv: Move) -> u64 {
+        self.ages[self.index(mv)]
+    }
+
+    /// Evict `mv` (it was just executed).
+    #[inline]
+    fn evict(&mut self, mv: Move) {
+        let i = self.index(mv);
+        self.ages[i] = NOT_ENABLED;
+    }
+
+    /// Reconcile one process's recomputed enabled list against its old
+    /// cached list: moves no longer enabled are evicted, newly (or re-)
+    /// enabled moves are admitted at `step`, still-enabled moves keep
+    /// their age. Both slices are in enumeration order, so their table
+    /// indices are strictly increasing.
+    fn reconcile(&mut self, old: &[Move], new: &[Move], step: u64) {
+        let mut oi = 0;
+        let mut ni = 0;
+        while oi < old.len() && ni < new.len() {
+            let io = self.index(old[oi]);
+            let in_ = self.index(new[ni]);
+            match io.cmp(&in_) {
+                std::cmp::Ordering::Less => {
+                    self.ages[io] = NOT_ENABLED;
+                    oi += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    debug_assert_eq!(self.ages[in_], NOT_ENABLED);
+                    self.ages[in_] = step;
+                    ni += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    // Still enabled; re-admit if it was executed since
+                    // (the naive path's `remove` + later `or_insert`).
+                    if self.ages[io] == NOT_ENABLED {
+                        self.ages[io] = step;
+                    }
+                    oi += 1;
+                    ni += 1;
+                }
+            }
+        }
+        for &mv in &old[oi..] {
+            let i = self.index(mv);
+            self.ages[i] = NOT_ENABLED;
+        }
+        for &mv in &new[ni..] {
+            let i = self.index(mv);
+            if self.ages[i] == NOT_ENABLED {
+                self.ages[i] = step;
+            }
+        }
+    }
+}
+
 /// Builder for [`Engine`]; see [`Engine::builder`].
 pub struct EngineBuilder<A: DinerAlgorithm> {
     alg: A,
@@ -58,6 +207,7 @@ pub struct EngineBuilder<A: DinerAlgorithm> {
     seed: u64,
     record_trace: bool,
     initial_state: Option<SystemState<A>>,
+    mode: EnumerationMode,
 }
 
 impl<A: DinerAlgorithm> EngineBuilder<A> {
@@ -97,6 +247,15 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
         self
     }
 
+    /// Select the enabled-move enumeration strategy (default:
+    /// [`EnumerationMode::Incremental`]). Both modes produce identical
+    /// runs; [`EnumerationMode::Naive`] exists as the reference.
+    #[must_use]
+    pub fn enumeration(mut self, mode: EnumerationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Start from an explicit state instead of the algorithm's legitimate
     /// initial state (scenario reproductions). Overridden by
     /// [`FaultPlan::from_arbitrary_state`].
@@ -122,7 +281,12 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
         }
         let mut trace = Trace::new();
         trace.enable(self.record_trace);
-        Engine {
+        let ages = AgeTable::new(&self.topo, self.alg.kinds());
+        let needs_now: Vec<bool> = (0..n)
+            .map(|i| self.workload.needs(ProcessId(i), 0))
+            .collect();
+        let step_dependent_needs = self.workload.step_dependent();
+        let mut engine = Engine {
             metrics: DinerMetrics::new(n),
             last_phase: (0..n)
                 .map(|i| self.alg.phase(state.local(ProcessId(i))))
@@ -140,7 +304,23 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
             rng,
             trace,
             first_enabled: HashMap::new(),
-        }
+            mode: self.mode,
+            fault_cursor: 0,
+            cache: vec![Vec::new(); n],
+            dirty_mask: vec![true; n],
+            dirty: (0..n).collect(),
+            ages,
+            needs_now,
+            step_dependent_needs,
+            eat_pairs_total: 0,
+            eat_pairs_live: 0,
+            annotated: Vec::new(),
+            scratch: Vec::new(),
+        };
+        let (total, live) = engine.eating_pairs_scan();
+        engine.eat_pairs_total = total;
+        engine.eat_pairs_live = live;
+        engine
     }
 }
 
@@ -160,9 +340,30 @@ pub struct Engine<A: DinerAlgorithm> {
     trace: Trace,
     metrics: DinerMetrics,
     last_phase: Vec<Phase>,
-    /// Step at which each currently-enabled move first became (and stayed)
-    /// enabled without being executed — drives fairness ages.
+    /// Naive-mode fairness ages: step at which each currently-enabled
+    /// move first became (and stayed) enabled without being executed.
     first_enabled: HashMap<Move, u64>,
+    mode: EnumerationMode,
+    /// Cursor into `faults.events()` — everything before it has fired.
+    fault_cursor: usize,
+    /// Incremental mode: per-process cached enabled moves, in
+    /// enumeration order.
+    cache: Vec<Vec<Move>>,
+    /// Which processes need re-enumeration (mask + stack, no dup pushes).
+    dirty_mask: Vec<bool>,
+    dirty: Vec<usize>,
+    /// Incremental-mode fairness ages.
+    ages: AgeTable,
+    /// Last `needs()` evaluation per process (step-dependent rescan memo).
+    needs_now: Vec<bool>,
+    step_dependent_needs: bool,
+    /// Running eating-pairs counters (all pairs / pairs with a live
+    /// endpoint), maintained on phase transitions and deaths.
+    eat_pairs_total: usize,
+    eat_pairs_live: usize,
+    /// Scratch buffers reused across steps to avoid per-step allocation.
+    annotated: Vec<EnabledMove>,
+    scratch: Vec<Move>,
 }
 
 impl<A: DinerAlgorithm> Engine<A> {
@@ -177,6 +378,7 @@ impl<A: DinerAlgorithm> Engine<A> {
             seed: 0,
             record_trace: false,
             initial_state: None,
+            mode: EnumerationMode::default(),
         }
     }
 
@@ -203,6 +405,11 @@ impl<A: DinerAlgorithm> Engine<A> {
     /// The current step counter (steps of simulated time so far).
     pub fn step_count(&self) -> u64 {
         self.step
+    }
+
+    /// The enumeration strategy this engine runs with.
+    pub fn enumeration_mode(&self) -> EnumerationMode {
+        self.mode
     }
 
     /// Service metrics accumulated so far.
@@ -248,7 +455,18 @@ impl<A: DinerAlgorithm> Engine<A> {
     /// Pairs of neighbors simultaneously eating right now, as
     /// `(total, with_live_endpoint)` — Theorem 3 bounds the first,
     /// the `E` predicate says the second is eventually zero.
+    ///
+    /// O(1): returns running counters maintained on phase transitions,
+    /// deaths and transient corruption. [`Engine::eating_pairs_scan`] is
+    /// the O(|E|) reference recount.
     pub fn eating_pairs(&self) -> (usize, usize) {
+        (self.eat_pairs_total, self.eat_pairs_live)
+    }
+
+    /// Reference O(|E|) edge scan for [`Engine::eating_pairs`] — used to
+    /// (re)initialize the counters, by the naive-mode exclusion monitor,
+    /// and by the differential tests to validate the counters.
+    pub fn eating_pairs_scan(&self) -> (usize, usize) {
         let mut total = 0;
         let mut live = 0;
         for &(a, b) in self.topo.edges() {
@@ -262,42 +480,63 @@ impl<A: DinerAlgorithm> Engine<A> {
         (total, live)
     }
 
-    /// Enumerate the enabled moves in the current state.
+    /// Enumerate the enabled moves in the current state, from scratch.
     pub fn enabled_moves(&self) -> Vec<Move> {
         let mut moves = Vec::new();
         for p in self.topo.processes() {
-            match self.health[p.index()] {
-                Health::Dead => {}
-                Health::Byzantine { .. } => moves.push(Move {
-                    pid: p,
-                    action: ActionId::MALICIOUS,
-                }),
-                Health::Live => {
-                    let needs = self.workload.needs(p, self.step);
-                    let view = View::new(&self.topo, &self.state, p, needs);
-                    for (ki, kind) in self.alg.kinds().iter().enumerate() {
-                        if kind.per_neighbor {
-                            for slot in 0..self.topo.degree(p) {
-                                let a = ActionId::at_slot(ki, slot);
-                                if self.alg.enabled(&view, a) {
-                                    moves.push(Move { pid: p, action: a });
-                                }
-                            }
-                        } else {
-                            let a = ActionId::global(ki);
+            self.enumerate_process(p, &mut moves);
+        }
+        moves
+    }
+
+    /// Append the enabled moves of `p` (in enumeration order: kinds in
+    /// declaration order, per-neighbor slots ascending, or the single
+    /// malicious pseudo-move) to `out`.
+    fn enumerate_process(&self, p: ProcessId, out: &mut Vec<Move>) {
+        match self.health[p.index()] {
+            Health::Dead => {}
+            Health::Byzantine { .. } => out.push(Move {
+                pid: p,
+                action: ActionId::MALICIOUS,
+            }),
+            Health::Live => {
+                let needs = self.workload.needs(p, self.step);
+                let view = View::new(&self.topo, &self.state, p, needs);
+                for (ki, kind) in self.alg.kinds().iter().enumerate() {
+                    if kind.per_neighbor {
+                        for slot in 0..self.topo.degree(p) {
+                            let a = ActionId::at_slot(ki, slot);
                             if self.alg.enabled(&view, a) {
-                                moves.push(Move { pid: p, action: a });
+                                out.push(Move { pid: p, action: a });
                             }
+                        }
+                    } else {
+                        let a = ActionId::global(ki);
+                        if self.alg.enabled(&view, a) {
+                            out.push(Move { pid: p, action: a });
                         }
                     }
                 }
             }
         }
-        moves
     }
 
     /// Execute one step of the computation; see the module docs.
     pub fn step(&mut self) -> StepOutcome {
+        match self.mode {
+            EnumerationMode::Naive => self.step_naive(),
+            EnumerationMode::Incremental => self.step_incremental(),
+        }
+    }
+
+    /// The reference step: full re-enumeration, `HashMap` fairness ages,
+    /// edge-scan exclusion monitor.
+    fn step_naive(&mut self) -> StepOutcome {
+        // The shared paths below still mark dirty processes; drain them so
+        // the stack cannot grow across a long naive run.
+        for i in self.dirty.drain(..) {
+            self.dirty_mask[i] = false;
+        }
         self.apply_due_faults();
         let enabled = self.enabled_moves();
 
@@ -332,8 +571,81 @@ impl<A: DinerAlgorithm> Engine<A> {
         self.first_enabled.remove(&mv);
 
         // Exclusion monitor.
-        let (_, live_pairs) = self.eating_pairs();
+        let (_, live_pairs) = self.eating_pairs_scan();
         self.metrics.on_exclusion_check(step, live_pairs);
+
+        self.step += 1;
+        self.executed += 1;
+        StepOutcome::Executed(mv)
+    }
+
+    /// The incremental step: re-enumerate only dirty processes, O(1) age
+    /// bookkeeping, counter-based exclusion monitor.
+    fn step_incremental(&mut self) -> StepOutcome {
+        self.apply_due_faults();
+        let step = self.step;
+
+        // Step-dependent workloads can flip any `needs()` between steps;
+        // a changed needs bit only feeds that process's own guards.
+        if self.step_dependent_needs {
+            for i in 0..self.topo.len() {
+                let need = self.workload.needs(ProcessId(i), step);
+                if need != self.needs_now[i] {
+                    self.needs_now[i] = need;
+                    if !self.dirty_mask[i] {
+                        self.dirty_mask[i] = true;
+                        self.dirty.push(i);
+                    }
+                }
+            }
+        }
+
+        // Re-enumerate dirty processes and reconcile their ages.
+        while let Some(i) = self.dirty.pop() {
+            self.dirty_mask[i] = false;
+            let mut fresh = std::mem::take(&mut self.scratch);
+            fresh.clear();
+            self.enumerate_process(ProcessId(i), &mut fresh);
+            self.ages.reconcile(&self.cache[i], &fresh, step);
+            std::mem::swap(&mut self.cache[i], &mut fresh);
+            self.scratch = fresh;
+        }
+
+        // Assemble the scheduler's view in the same process-major order
+        // as the naive enumeration, reusing the scratch buffer.
+        let mut annotated = std::mem::take(&mut self.annotated);
+        annotated.clear();
+        for list in &self.cache {
+            for &mv in list {
+                let first = self.ages.first_enabled(mv);
+                debug_assert_ne!(first, NOT_ENABLED, "cached move {mv:?} has no age");
+                annotated.push(EnabledMove {
+                    mv,
+                    age: step - first + 1,
+                });
+            }
+        }
+
+        if annotated.is_empty() {
+            self.annotated = annotated;
+            self.step += 1;
+            self.quiescent += 1;
+            return StepOutcome::Quiescent;
+        }
+
+        let choice = self.sched.pick(step, &annotated);
+        assert!(
+            choice < annotated.len(),
+            "scheduler {} returned out-of-range index {choice}",
+            self.sched.name()
+        );
+        let mv = annotated[choice].mv;
+        self.annotated = annotated;
+        self.execute_move(mv);
+        self.ages.evict(mv);
+
+        // Exclusion monitor, from the running counter.
+        self.metrics.on_exclusion_check(step, self.eat_pairs_live);
 
         self.step += 1;
         self.executed += 1;
@@ -395,32 +707,126 @@ impl<A: DinerAlgorithm> Engine<A> {
         since
     }
 
+    /// Mark a single process for re-enumeration.
+    fn mark_dirty(&mut self, p: ProcessId) {
+        let i = p.index();
+        if !self.dirty_mask[i] {
+            self.dirty_mask[i] = true;
+            self.dirty.push(i);
+        }
+    }
+
+    /// Mark `p` and its neighbors — the guard footprint of a write set
+    /// confined to `p`'s local and incident edges.
+    fn mark_dirty_closed(&mut self, p: ProcessId) {
+        let topo = &self.topo;
+        for &q in topo.closed_neighborhood(p) {
+            let i = q.index();
+            if !self.dirty_mask[i] {
+                self.dirty_mask[i] = true;
+                self.dirty.push(i);
+            }
+        }
+    }
+
+    fn mark_all_dirty(&mut self) {
+        for i in 0..self.topo.len() {
+            if !self.dirty_mask[i] {
+                self.dirty_mask[i] = true;
+                self.dirty.push(i);
+            }
+        }
+    }
+
+    /// Adjust the eating-pairs counters for `p` changing phase from
+    /// `before` to `after` while every *other* entry of `last_phase` is
+    /// current. Must run before `last_phase[p]` is updated and after any
+    /// health change at `p` took effect.
+    fn update_eating_pairs(&mut self, p: ProcessId, before: Phase, after: Phase) {
+        let was = before == Phase::Eating;
+        let now = after == Phase::Eating;
+        if was == now {
+            return;
+        }
+        let p_dead = self.health[p.index()].is_dead();
+        let topo = &self.topo;
+        for &q in topo.neighbors(p) {
+            if self.last_phase[q.index()] != Phase::Eating {
+                continue;
+            }
+            let live = !p_dead || !self.health[q.index()].is_dead();
+            if now {
+                self.eat_pairs_total += 1;
+                if live {
+                    self.eat_pairs_live += 1;
+                }
+            } else {
+                self.eat_pairs_total -= 1;
+                if live {
+                    self.eat_pairs_live -= 1;
+                }
+            }
+        }
+    }
+
+    /// Counter fix-up for an active process dying: eating pairs it shared
+    /// with an already-dead eating neighbor stop counting as live. Call
+    /// with `self.health[p]` already `Dead` and `last_phase[p]` still
+    /// reflecting `p`'s phase at the moment of death.
+    fn on_process_died(&mut self, p: ProcessId) {
+        if self.last_phase[p.index()] != Phase::Eating {
+            return;
+        }
+        let topo = &self.topo;
+        for &q in topo.neighbors(p) {
+            if self.last_phase[q.index()] == Phase::Eating && self.health[q.index()].is_dead() {
+                self.eat_pairs_live -= 1;
+            }
+        }
+    }
+
     fn apply_due_faults(&mut self) {
         let step = self.step;
-        let due: Vec<_> = self.faults.due_at(step).copied().collect();
-        for ev in due {
+        let (start, end) = self.faults.due_span(self.fault_cursor, step);
+        self.fault_cursor = end;
+        for i in start..end {
+            let ev = self.faults.events()[i];
             match ev.kind {
                 FaultKind::Crash => {
+                    let was_active = self.health[ev.target.index()].is_active();
                     self.health[ev.target.index()] = Health::Dead;
+                    if was_active {
+                        self.on_process_died(ev.target);
+                        // Health is invisible to neighbor guards
+                        // (crashes are undetectable); only the target's
+                        // own move set changes.
+                        self.mark_dirty(ev.target);
+                    }
                 }
                 FaultKind::MaliciousCrash { steps } => {
                     if self.health[ev.target.index()].is_active() {
-                        self.health[ev.target.index()] = if steps == 0 {
-                            Health::Dead
+                        if steps == 0 {
+                            self.health[ev.target.index()] = Health::Dead;
+                            self.on_process_died(ev.target);
                         } else {
-                            Health::Byzantine { remaining: steps }
-                        };
+                            self.health[ev.target.index()] = Health::Byzantine { remaining: steps };
+                        }
+                        self.mark_dirty(ev.target);
                     }
                 }
                 FaultKind::TransientGlobal => {
                     self.state.corrupt_all(&self.alg, &self.topo, &mut self.rng);
                     self.resync_phases();
+                    self.mark_all_dirty();
                 }
                 FaultKind::TransientLocal => {
                     self.state
                         .corrupt_process(&self.alg, &self.topo, &mut self.rng, ev.target);
-                    self.last_phase[ev.target.index()] =
-                        self.alg.phase(self.state.local(ev.target));
+                    let before = self.last_phase[ev.target.index()];
+                    let after = self.alg.phase(self.state.local(ev.target));
+                    self.update_eating_pairs(ev.target, before, after);
+                    self.last_phase[ev.target.index()] = after;
+                    self.mark_dirty_closed(ev.target);
                 }
             }
             self.trace.record(Event {
@@ -431,10 +837,15 @@ impl<A: DinerAlgorithm> Engine<A> {
         }
     }
 
+    /// Rebuild `last_phase` and the eating-pairs counters from the state
+    /// (after bulk corruption or at engine construction).
     fn resync_phases(&mut self) {
         for p in self.topo.processes() {
             self.last_phase[p.index()] = self.alg.phase(self.state.local(p));
         }
+        let (total, live) = self.eating_pairs_scan();
+        self.eat_pairs_total = total;
+        self.eat_pairs_live = live;
     }
 
     fn execute_move(&mut self, mv: Move) {
@@ -443,14 +854,19 @@ impl<A: DinerAlgorithm> Engine<A> {
         let writes: Vec<Write<A>> = if mv.action.is_malicious() {
             let view = View::new(&self.topo, &self.state, pid, false);
             let w = self.alg.malicious_writes(&view, &mut self.rng);
+            let mut died = false;
             match &mut self.health[pid.index()] {
                 Health::Byzantine { remaining } => {
                     *remaining -= 1;
                     if *remaining == 0 {
                         self.health[pid.index()] = Health::Dead;
+                        died = true;
                     }
                 }
                 other => unreachable!("malicious move for non-byzantine process: {other:?}"),
+            }
+            if died {
+                self.on_process_died(pid);
             }
             self.trace.record(Event {
                 step: self.step,
@@ -493,6 +909,7 @@ impl<A: DinerAlgorithm> Engine<A> {
         }
 
         let after = self.alg.phase(self.state.local(pid));
+        self.update_eating_pairs(pid, before, after);
         self.last_phase[pid.index()] = after;
         if before != after {
             self.metrics.on_phase_change(pid, before, after, self.step);
@@ -500,12 +917,16 @@ impl<A: DinerAlgorithm> Engine<A> {
                 self.workload.note_eat(pid, self.step);
             }
         }
+        // The write set was confined to pid's local + incident edges, so
+        // only the closed neighborhood's guards can have changed.
+        self.mark_dirty_closed(pid);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algorithm::Algorithm;
     use crate::fault::FaultPlan;
     use crate::predicate::FnPredicate;
     use crate::scheduler::RandomScheduler;
@@ -668,6 +1089,7 @@ mod tests {
         *st.local_mut(ProcessId(1)) = Phase::Eating;
         let e = Engine::builder(ToyDiners, t).initial_state(st).build();
         assert_eq!(e.eating_pairs(), (1, 1));
+        assert_eq!(e.eating_pairs_scan(), (1, 1));
     }
 
     #[test]
@@ -703,5 +1125,204 @@ mod tests {
             let _ = e.phase_of(p);
         }
         let _ = (TOY_ENTER, TOY_EXIT);
+    }
+
+    // ---- incremental-mode specifics ----
+
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Scheduler that logs every annotated enabled set it is offered and
+    /// delegates the actual choice.
+    struct ProbeScheduler {
+        log: Rc<RefCell<Vec<Vec<EnabledMove>>>>,
+        inner: RandomScheduler,
+    }
+
+    impl Scheduler for ProbeScheduler {
+        fn pick(&mut self, step: u64, enabled: &[EnabledMove]) -> usize {
+            self.log.borrow_mut().push(enabled.to_vec());
+            self.inner.pick(step, enabled)
+        }
+        fn name(&self) -> &str {
+            "probe"
+        }
+    }
+
+    fn probe_run(mode: EnumerationMode, steps: u64) -> Vec<Vec<EnabledMove>> {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut e = Engine::builder(ToyDiners, Topology::line(4))
+            .scheduler(ProbeScheduler {
+                log: Rc::clone(&log),
+                inner: RandomScheduler::new(9),
+            })
+            .enumeration(mode)
+            .seed(9)
+            .build();
+        e.run(steps);
+        drop(e);
+        Rc::try_unwrap(log).unwrap().into_inner()
+    }
+
+    #[test]
+    fn ages_match_naive_move_for_move() {
+        // The satellite guarantee for the dense age table: both engines
+        // offer the scheduler identical (move, age) lists at every step.
+        let naive = probe_run(EnumerationMode::Naive, 300);
+        let incremental = probe_run(EnumerationMode::Incremental, 300);
+        assert_eq!(naive.len(), incremental.len());
+        for (s, (a, b)) in naive.iter().zip(&incremental).enumerate() {
+            assert_eq!(a, b, "annotated sets diverge at pick {s}");
+        }
+    }
+
+    #[test]
+    fn ages_grow_while_enabled_and_reset_on_reenable() {
+        // line(4): p3's join stays enabled (and un-executed) while other
+        // moves fire → its age must grow monotonically; a move that is
+        // executed and later re-enabled must restart at age 1.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut e = Engine::builder(ToyDiners, Topology::line(4))
+            .scheduler(ProbeScheduler {
+                log: Rc::clone(&log),
+                inner: RandomScheduler::new(3),
+            })
+            .seed(3)
+            .build();
+        e.run(400);
+        drop(e);
+        let log = Rc::try_unwrap(log).unwrap().into_inner();
+
+        // This run is never quiescent (some join/enter/exit is always
+        // enabled), so consecutive picks are consecutive steps:
+        // still-enabled moves must age by exactly 1, and a move admitted
+        // after an absence must restart at age 1 — even if it had aged
+        // before (the stale age must not survive the disabled interval).
+        let mut seen_aged: std::collections::HashSet<Move> = Default::default();
+        let mut seen_reset = false;
+        for w in log.windows(2) {
+            for em in &w[1] {
+                match w[0].iter().find(|p| p.mv == em.mv) {
+                    Some(old) => {
+                        assert_eq!(em.age, old.age + 1, "{:?} did not age monotonically", em.mv)
+                    }
+                    None => {
+                        assert_eq!(em.age, 1, "{:?} kept a stale age", em.mv);
+                        if seen_aged.contains(&em.mv) {
+                            seen_reset = true;
+                        }
+                    }
+                }
+                if em.age > 1 {
+                    seen_aged.insert(em.mv);
+                }
+            }
+        }
+        assert!(seen_reset, "expected at least one age reset over the run");
+    }
+
+    #[test]
+    fn age_table_reconcile_semantics() {
+        let topo = Topology::line(3);
+        let kinds = ToyDiners.kinds();
+        let mut t = AgeTable::new(&topo, kinds);
+        let join = |p: usize| Move {
+            pid: ProcessId(p),
+            action: ActionId::global(TOY_JOIN),
+        };
+        let enter = |p: usize| Move {
+            pid: ProcessId(p),
+            action: ActionId::global(TOY_ENTER),
+        };
+        let mal = |p: usize| Move {
+            pid: ProcessId(p),
+            action: ActionId::MALICIOUS,
+        };
+
+        // Admit two moves at step 5.
+        t.reconcile(&[], &[join(1), enter(1)], 5);
+        assert_eq!(t.first_enabled(join(1)), 5);
+        assert_eq!(t.first_enabled(enter(1)), 5);
+
+        // Still enabled at step 8: ages preserved, not reset.
+        t.reconcile(&[join(1), enter(1)], &[join(1), enter(1)], 8);
+        assert_eq!(t.first_enabled(join(1)), 5);
+
+        // enter drops out, join survives, malicious pseudo-move appears.
+        t.reconcile(&[join(1), enter(1)], &[join(1), mal(1)], 9);
+        assert_eq!(t.first_enabled(join(1)), 5);
+        assert_eq!(t.first_enabled(enter(1)), NOT_ENABLED);
+        assert_eq!(t.first_enabled(mal(1)), 9);
+
+        // Executed (evicted) then still enabled → re-admitted fresh.
+        t.evict(join(1));
+        t.reconcile(&[join(1), mal(1)], &[join(1), mal(1)], 11);
+        assert_eq!(t.first_enabled(join(1)), 11, "re-enabled move restarts");
+        assert_eq!(t.first_enabled(mal(1)), 9, "untouched move keeps age");
+
+        // Other processes' slots are independent.
+        assert_eq!(t.first_enabled(join(0)), NOT_ENABLED);
+        assert_eq!(t.first_enabled(join(2)), NOT_ENABLED);
+    }
+
+    #[test]
+    fn eating_pair_counters_track_scan_under_faults() {
+        // Stress the running counters against the reference scan across
+        // malicious crashes, benign crashes and transient corruption.
+        for seed in 0..4u64 {
+            let mut e = Engine::builder(ToyDiners, Topology::ring(6))
+                .scheduler(RandomScheduler::new(seed))
+                .faults(
+                    FaultPlan::new()
+                        .malicious_crash(20, 1, 5)
+                        .crash(60, 3)
+                        .transient_local(90, 4)
+                        .transient_global(120),
+                )
+                .seed(seed)
+                .build();
+            for _ in 0..300 {
+                e.step();
+                assert_eq!(
+                    e.eating_pairs(),
+                    e.eating_pairs_scan(),
+                    "counter drifted from scan at step {} (seed {seed})",
+                    e.step_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_a_faulty_run() {
+        // Smoke-level differential check (the full sweep lives in
+        // tests/incremental_equiv.rs): identical outcomes, state, metrics.
+        let build = |mode| {
+            Engine::builder(ToyDiners, Topology::ring(5))
+                .scheduler(RandomScheduler::new(7))
+                .faults(
+                    FaultPlan::new()
+                        .malicious_crash(15, 2, 4)
+                        .crash(40, 0)
+                        .transient_global(70),
+                )
+                .enumeration(mode)
+                .seed(7)
+                .build()
+        };
+        let mut a = build(EnumerationMode::Naive);
+        let mut b = build(EnumerationMode::Incremental);
+        for step in 0..500 {
+            assert_eq!(a.step(), b.step(), "diverged at step {step}");
+        }
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.health(), b.health());
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn default_mode_is_incremental() {
+        let e = toy_engine(3);
+        assert_eq!(e.enumeration_mode(), EnumerationMode::Incremental);
     }
 }

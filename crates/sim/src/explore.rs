@@ -12,15 +12,35 @@
 //! report says whether it was truncated, so "verified" is only claimed
 //! for complete searches.
 //!
+//! # Performance architecture
+//!
+//! States are identified by a 64-bit [`crate::fingerprint`] instead of a
+//! full cloned key; fingerprint collisions are resolved by comparing the
+//! candidate against the states already interned in that fingerprint's
+//! bucket, so deduplication is exact, not probabilistic.
+//!
+//! The BFS is *layered*: the frontier at depth `d` is fully expanded
+//! (moves enumerated, successors and fingerprints computed — the
+//! expensive part), then merged sequentially in frontier order into the
+//! visited set. Layering leaves the discovery order, transition counts,
+//! deadlock counts, and early-exit points identical to the classic
+//! FIFO-queue formulation, but makes the expansion embarrassingly
+//! parallel: [`explore_parallel`] shards each frontier across scoped
+//! worker threads and reassembles the per-shard results in shard order,
+//! so its report is bit-identical to [`explore`]'s.
+//!
 //! The workload must be state-independent for the state space to be
 //! well-defined: each process either always or never "needs" to eat
 //! (the per-process `needs` mask).
 
-use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+use crossbeam::{channel, thread};
 
 use crate::algorithm::{Algorithm, Move, SystemState, View, Write};
 use crate::fault::Health;
+use crate::fingerprint::{fingerprint, FingerprintMap};
 use crate::graph::Topology;
 use crate::predicate::Snapshot;
 
@@ -34,7 +54,7 @@ pub struct Limits {
 impl Default for Limits {
     fn default() -> Self {
         Limits {
-            max_states: 200_000,
+            max_states: 1_000_000,
         }
     }
 }
@@ -52,6 +72,10 @@ pub struct ExplorationReport {
     pub violation: Option<Vec<Move>>,
     /// Whether the search hit [`Limits::max_states`] before completing.
     pub truncated: bool,
+    /// Wall-clock time the search took.
+    pub elapsed: Duration,
+    /// Worker threads used to expand frontiers (1 = sequential).
+    pub threads: usize,
 }
 
 impl ExplorationReport {
@@ -59,6 +83,17 @@ impl ExplorationReport {
     /// state space.
     pub fn verified(&self) -> bool {
         self.violation.is_none() && !self.truncated
+    }
+
+    /// Distinct states visited per second of wall-clock time (`0.0` when
+    /// the search finished too fast to time).
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.states as f64 / secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -86,20 +121,187 @@ where
 {
     assert_eq!(needs.len(), topo.len(), "needs mask size mismatch");
     assert_eq!(health.len(), topo.len(), "health vector size mismatch");
+    search_loop(
+        topo,
+        initial,
+        health,
+        safety,
+        limits,
+        1,
+        |frontier, states| {
+            frontier
+                .iter()
+                .map(|&i| expand_state(alg, topo, states, i, health, needs))
+                .collect()
+        },
+    )
+}
 
+/// [`explore`] with frontier expansion sharded across `threads` scoped
+/// worker threads (`0` = one per available core). The report —
+/// discovery order, counts, violation trace, truncation point — is
+/// bit-identical to the sequential search's; only the wall-clock time
+/// changes.
+///
+/// # Panics
+///
+/// Panics if `needs` or `health` length differs from the topology size,
+/// or if a worker thread panics.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_parallel<A, F>(
+    alg: &A,
+    topo: &Topology,
+    initial: SystemState<A>,
+    health: &[Health],
+    needs: &[bool],
+    safety: F,
+    limits: Limits,
+    threads: usize,
+) -> ExplorationReport
+where
+    A: Algorithm + Sync,
+    A::Local: Hash + Eq + Send + Sync,
+    A::Edge: Hash + Eq + Send + Sync,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+{
+    assert_eq!(needs.len(), topo.len(), "needs mask size mismatch");
+    assert_eq!(health.len(), topo.len(), "health vector size mismatch");
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    if threads <= 1 {
+        return search_loop(
+            topo,
+            initial,
+            health,
+            safety,
+            limits,
+            1,
+            |frontier, states| {
+                frontier
+                    .iter()
+                    .map(|&i| expand_state(alg, topo, states, i, health, needs))
+                    .collect()
+            },
+        );
+    }
+    search_loop(
+        topo,
+        initial,
+        health,
+        safety,
+        limits,
+        threads,
+        |frontier, states| {
+            // Tiny frontiers aren't worth the spawn cost; expand inline.
+            // (Same results either way — only the wall-clock differs.)
+            if frontier.len() < threads * 4 {
+                return frontier
+                    .iter()
+                    .map(|&i| expand_state(alg, topo, states, i, health, needs))
+                    .collect();
+            }
+            let chunk_size = frontier.len().div_ceil(threads);
+            let nchunks = frontier.len().div_ceil(chunk_size);
+            let (tx, rx) = channel::unbounded();
+            let parts = thread::scope(|s| {
+                for (ci, chunk) in frontier.chunks(chunk_size).enumerate() {
+                    let tx = tx.clone();
+                    s.spawn(move |_| {
+                        let out: Vec<Expansion<A>> = chunk
+                            .iter()
+                            .map(|&i| expand_state(alg, topo, states, i, health, needs))
+                            .collect();
+                        // The receiver outlives the scope; send can't fail
+                        // unless the merge side already panicked.
+                        let _ = tx.send((ci, out));
+                    });
+                }
+                drop(tx);
+                let mut parts: Vec<Option<Vec<Expansion<A>>>> =
+                    (0..nchunks).map(|_| None).collect();
+                while let Ok((ci, out)) = rx.recv() {
+                    parts[ci] = Some(out);
+                }
+                parts
+            })
+            .expect("explore worker panicked");
+            // Reassemble in shard order: identical to sequential expansion.
+            parts
+                .into_iter()
+                .flat_map(|p| p.expect("missing shard result"))
+                .collect()
+        },
+    )
+}
+
+/// All successors of one frontier state: the enabled moves applied, with
+/// each successor's fingerprint precomputed (in the worker, when
+/// parallel). An empty `succs` marks a deadlock state.
+struct Expansion<A: Algorithm> {
+    parent: usize,
+    succs: Vec<(Move, SystemState<A>, u64)>,
+}
+
+fn expand_state<A: Algorithm>(
+    alg: &A,
+    topo: &Topology,
+    states: &[SystemState<A>],
+    idx: usize,
+    health: &[Health],
+    needs: &[bool],
+) -> Expansion<A>
+where
+    A::Local: Hash,
+    A::Edge: Hash,
+{
+    let state = &states[idx];
+    let succs = enabled_moves(alg, topo, state, health, needs)
+        .into_iter()
+        .map(|mv| {
+            let next = apply(alg, topo, state, mv, needs);
+            let fp = fingerprint_state(&next);
+            (mv, next, fp)
+        })
+        .collect();
+    Expansion { parent: idx, succs }
+}
+
+/// The layered BFS driver shared by the sequential and parallel searches.
+/// `expand_layer` turns a frontier (indices into the state arena) into
+/// one `Expansion` per frontier state, *in frontier order*; the merge
+/// below is sequential either way, which is what makes the two searches
+/// produce identical reports.
+fn search_loop<A, F, E>(
+    topo: &Topology,
+    initial: SystemState<A>,
+    health: &[Health],
+    safety: F,
+    limits: Limits,
+    threads: usize,
+    mut expand_layer: E,
+) -> ExplorationReport
+where
+    A: Algorithm,
+    A::Local: Hash + Eq,
+    A::Edge: Hash + Eq,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+    E: FnMut(&[usize], &[SystemState<A>]) -> Vec<Expansion<A>>,
+{
+    let start = Instant::now();
     let mut report = ExplorationReport {
         states: 0,
         transitions: 0,
         deadlocks: 0,
         violation: None,
         truncated: false,
+        elapsed: Duration::ZERO,
+        threads,
     };
-
-    // Map state -> (parent index, move from parent) for trace rebuild.
-    let mut ids: HashMap<StateKey<A>, usize> = HashMap::new();
-    let mut parents: Vec<Option<(usize, Move)>> = Vec::new();
-    let mut states: Vec<SystemState<A>> = Vec::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
 
     let check = |state: &SystemState<A>| -> bool {
         let snap = Snapshot::new(topo, state, health);
@@ -109,47 +311,100 @@ where
     if !check(&initial) {
         report.states = 1;
         report.violation = Some(Vec::new());
+        report.elapsed = start.elapsed();
         return report;
     }
-    ids.insert(StateKey::of(&initial), 0);
-    parents.push(None);
-    states.push(initial);
-    queue.push_back(0);
 
-    while let Some(idx) = queue.pop_front() {
-        let moves = enabled_moves(alg, topo, &states[idx], health, needs);
-        if moves.is_empty() {
-            report.deadlocks += 1;
-            continue;
-        }
-        for mv in moves {
-            report.transitions += 1;
-            let next = apply(alg, topo, &states[idx], mv, needs);
-            let key = StateKey::of(&next);
-            if ids.contains_key(&key) {
+    let mut search = Search::new();
+    let fp = fingerprint_state(&initial);
+    search.intern(initial, fp, None);
+    let mut frontier = vec![0usize];
+
+    'bfs: while !frontier.is_empty() {
+        let expansions = expand_layer(&frontier, &search.states);
+        let mut next_frontier = Vec::new();
+        for exp in expansions {
+            if exp.succs.is_empty() {
+                report.deadlocks += 1;
                 continue;
             }
-            let ok = check(&next);
-            let next_idx = states.len();
-            ids.insert(key, next_idx);
-            parents.push(Some((idx, mv)));
-            states.push(next);
-            if !ok {
-                report.states = states.len();
-                report.violation = Some(rebuild_trace(&parents, next_idx));
-                return report;
+            for (mv, next, fp) in exp.succs {
+                report.transitions += 1;
+                let (idx, is_new) = search.intern(next, fp, Some((exp.parent, mv)));
+                if !is_new {
+                    continue;
+                }
+                if !check(&search.states[idx]) {
+                    report.violation = Some(rebuild_trace(&search.parents, idx));
+                    break 'bfs;
+                }
+                if search.states.len() >= limits.max_states {
+                    report.truncated = true;
+                    break 'bfs;
+                }
+                next_frontier.push(idx);
             }
-            if states.len() >= limits.max_states {
-                report.states = states.len();
-                report.truncated = true;
-                return report;
-            }
-            queue.push_back(next_idx);
+        }
+        frontier = next_frontier;
+    }
+
+    report.states = search.states.len();
+    report.elapsed = start.elapsed();
+    report
+}
+
+/// The visited set: a state arena plus a fingerprint index into it.
+struct Search<A: Algorithm> {
+    /// fingerprint -> indices of interned states with that fingerprint.
+    ids: FingerprintMap<Vec<usize>>,
+    /// (parent index, move from parent) per state, for trace rebuild.
+    parents: Vec<Option<(usize, Move)>>,
+    states: Vec<SystemState<A>>,
+}
+
+impl<A: Algorithm> Search<A>
+where
+    A::Local: Eq,
+    A::Edge: Eq,
+{
+    fn new() -> Self {
+        Search {
+            ids: FingerprintMap::default(),
+            parents: Vec::new(),
+            states: Vec::new(),
         }
     }
 
-    report.states = states.len();
-    report
+    /// Intern `next` under fingerprint `fp`: returns its arena index and
+    /// whether it was new. Collisions are resolved exactly, by comparing
+    /// against every state already in the fingerprint's bucket.
+    fn intern(
+        &mut self,
+        next: SystemState<A>,
+        fp: u64,
+        parent: Option<(usize, Move)>,
+    ) -> (usize, bool) {
+        let bucket = self.ids.entry(fp).or_default();
+        for &i in bucket.iter() {
+            let s = &self.states[i];
+            if s.locals() == next.locals() && s.edges() == next.edges() {
+                return (i, false);
+            }
+        }
+        let idx = self.states.len();
+        bucket.push(idx);
+        self.parents.push(parent);
+        self.states.push(next);
+        (idx, true)
+    }
+}
+
+fn fingerprint_state<A: Algorithm>(state: &SystemState<A>) -> u64
+where
+    A::Local: Hash,
+    A::Edge: Hash,
+{
+    fingerprint(&(state.locals(), state.edges()))
 }
 
 fn enabled_moves<A: Algorithm>(
@@ -220,53 +475,6 @@ fn rebuild_trace(parents: &[Option<(usize, Move)>], mut idx: usize) -> Vec<Move>
     trace
 }
 
-/// Hashable snapshot of a full system state.
-struct StateKey<A: Algorithm> {
-    locals: Vec<A::Local>,
-    edges: Vec<A::Edge>,
-}
-
-impl<A: Algorithm> StateKey<A>
-where
-    A::Local: Clone,
-    A::Edge: Clone,
-{
-    fn of(state: &SystemState<A>) -> Self {
-        StateKey {
-            locals: state.locals().to_vec(),
-            edges: state.edges().to_vec(),
-        }
-    }
-}
-
-impl<A: Algorithm> PartialEq for StateKey<A>
-where
-    A::Local: Eq,
-    A::Edge: Eq,
-{
-    fn eq(&self, other: &Self) -> bool {
-        self.locals == other.locals && self.edges == other.edges
-    }
-}
-
-impl<A: Algorithm> Eq for StateKey<A>
-where
-    A::Local: Eq,
-    A::Edge: Eq,
-{
-}
-
-impl<A: Algorithm> Hash for StateKey<A>
-where
-    A::Local: Hash,
-    A::Edge: Hash,
-{
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.locals.hash(state);
-        self.edges.hash(state);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +512,7 @@ mod tests {
         // those with adjacent eaters.
         assert!(report.states <= 27, "{}", report.states);
         assert!(report.transitions > 0);
+        assert_eq!(report.threads, 1);
     }
 
     #[test]
@@ -400,5 +609,161 @@ mod tests {
         // {E,T}, {E,H}.
         assert!(report.verified(), "{report:?}");
         assert_eq!(report.states, 2);
+    }
+
+    #[test]
+    fn interning_resolves_forced_fingerprint_collisions() {
+        let topo = Topology::line(2);
+        let mut search: Search<ToyDiners> = Search::new();
+        let a = SystemState::initial(&ToyDiners, &topo);
+        let mut b = SystemState::initial(&ToyDiners, &topo);
+        *b.local_mut(ProcessId(0)) = Phase::Hungry;
+        // Force both distinct states into the same bucket: interning must
+        // still tell them apart by full-state comparison.
+        let (ia, new_a) = search.intern(a.clone(), 42, None);
+        let (ib, new_b) = search.intern(b, 42, None);
+        assert!(new_a && new_b);
+        assert_ne!(ia, ib);
+        let (ia2, new_a2) = search.intern(a, 42, None);
+        assert_eq!(ia2, ia);
+        assert!(!new_a2, "re-interning an existing state is a no-op");
+        assert_eq!(search.states.len(), 2);
+    }
+
+    /// Reports must agree field-for-field (modulo wall-clock and thread
+    /// count).
+    fn assert_same_search(a: &ExplorationReport, b: &ExplorationReport) {
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.deadlocks, b.deadlocks);
+        assert_eq!(a.violation, b.violation);
+        assert_eq!(a.truncated, b.truncated);
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let topo = Topology::ring(5);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let seq = explore(
+            &ToyDiners,
+            &topo,
+            initial.clone(),
+            &live(5),
+            &[true; 5],
+            exclusion,
+            Limits::default(),
+        );
+        for threads in [2, 4] {
+            let par = explore_parallel(
+                &ToyDiners,
+                &topo,
+                initial.clone(),
+                &live(5),
+                &[true; 5],
+                exclusion,
+                Limits::default(),
+                threads,
+            );
+            assert_same_search(&seq, &par);
+            assert_eq!(par.threads, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_on_truncation() {
+        let topo = Topology::ring(5);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let limits = Limits { max_states: 17 };
+        let seq = explore(
+            &ToyDiners,
+            &topo,
+            initial.clone(),
+            &live(5),
+            &[true; 5],
+            exclusion,
+            limits,
+        );
+        let par = explore_parallel(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(5),
+            &[true; 5],
+            exclusion,
+            limits,
+            3,
+        );
+        assert!(seq.truncated);
+        assert_same_search(&seq, &par);
+    }
+
+    #[test]
+    fn parallel_search_finds_the_same_violation_trace() {
+        // Exclusion violations are reachable when a "safety" predicate
+        // forbids something the toy algorithm actually does: claim no
+        // process ever eats.
+        let nobody_eats = |snap: &Snapshot<'_, ToyDiners>| {
+            snap.topo
+                .processes()
+                .all(|p| *snap.state.local(p) != Phase::Eating)
+        };
+        let topo = Topology::line(4);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let seq = explore(
+            &ToyDiners,
+            &topo,
+            initial.clone(),
+            &live(4),
+            &[true; 4],
+            nobody_eats,
+            Limits::default(),
+        );
+        let par = explore_parallel(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(4),
+            &[true; 4],
+            nobody_eats,
+            Limits::default(),
+            4,
+        );
+        assert!(seq.violation.is_some());
+        assert_same_search(&seq, &par);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let topo = Topology::line(3);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let report = explore_parallel(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(3),
+            &[true; 3],
+            exclusion,
+            Limits::default(),
+            0,
+        );
+        assert!(report.verified());
+        assert!(report.threads >= 1);
+    }
+
+    #[test]
+    fn states_per_sec_is_finite() {
+        let topo = Topology::ring(4);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let report = explore(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(4),
+            &[true; 4],
+            exclusion,
+            Limits::default(),
+        );
+        let rate = report.states_per_sec();
+        assert!(rate.is_finite() && rate >= 0.0);
     }
 }

@@ -219,6 +219,26 @@ impl FaultPlan {
         self.events.iter().filter(move |e| e.at_step == step)
     }
 
+    /// Allocation-free cursor variant of [`FaultPlan::due_at`] for callers
+    /// that visit steps in nondecreasing order (the engine hot path).
+    ///
+    /// Given a cursor into [`FaultPlan::events`] (initially `0`), returns
+    /// the half-open index range of events striking exactly at `step`,
+    /// skipping any already-passed events before it. Feed the returned
+    /// `end` back as the next call's cursor; in the common no-fault case
+    /// this is two comparisons and no allocation.
+    pub fn due_span(&self, cursor: usize, step: u64) -> (usize, usize) {
+        let mut start = cursor;
+        while start < self.events.len() && self.events[start].at_step < step {
+            start += 1;
+        }
+        let mut end = start;
+        while end < self.events.len() && self.events[end].at_step == step {
+            end += 1;
+        }
+        (start, end)
+    }
+
     /// Total number of processes this plan ever kills (initially dead +
     /// crash + malicious crash targets, deduplicated).
     pub fn kill_count(&self) -> usize {
@@ -279,6 +299,32 @@ mod tests {
         assert_eq!(p.due_at(10).count(), 2);
         assert_eq!(p.due_at(15).count(), 0);
         assert_eq!(p.due_at(20).count(), 1);
+    }
+
+    #[test]
+    fn due_span_matches_due_at_under_a_monotone_cursor() {
+        let p = FaultPlan::new()
+            .crash(10, 1)
+            .crash(10, 2)
+            .transient_global(12)
+            .crash(20, 3);
+        let mut cursor = 0;
+        for step in 0..25u64 {
+            let (start, end) = p.due_span(cursor, step);
+            cursor = end;
+            let via_span: Vec<_> = p.events()[start..end].to_vec();
+            let via_filter: Vec<_> = p.due_at(step).copied().collect();
+            assert_eq!(via_span, via_filter, "step {step}");
+        }
+        // Cursor past the end stays in range and yields nothing.
+        assert_eq!(p.due_span(cursor, 99), (p.events().len(), p.events().len()));
+    }
+
+    #[test]
+    fn due_span_skips_missed_steps() {
+        let p = FaultPlan::new().crash(5, 0).crash(9, 1);
+        // Jumping straight to step 9 passes over the step-5 event.
+        assert_eq!(p.due_span(0, 9), (1, 2));
     }
 
     #[test]

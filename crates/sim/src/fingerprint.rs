@@ -1,0 +1,176 @@
+//! Deterministic 64-bit fingerprinting for state deduplication.
+//!
+//! The explorer identifies states by a 64-bit fingerprint instead of a
+//! full cloned key, falling back to full-state comparison only within a
+//! fingerprint's collision bucket. That needs a hasher that is *fast*
+//! (FxHash-style multiply-rotate over words, no per-byte SipHash rounds)
+//! and *deterministic* (no per-process random keys — fingerprints must
+//! agree across worker threads and across runs).
+//!
+//! [`Fx64`] is the word-at-a-time hasher with a strong finishing mix;
+//! [`FingerprintMap`] is a `HashMap` keyed by already-mixed `u64`
+//! fingerprints, using an identity hasher so the fingerprint's own bits
+//! drive the bucket choice directly.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// FxHash multiplier (the golden-ratio-derived constant used by rustc's
+/// FxHasher).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// splitmix64 finalizer: diffuses every input bit across the whole word,
+/// compensating for the weak low bits of the multiply-rotate core.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fast, deterministic 64-bit hasher (FxHash core + splitmix64 finish).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fx64 {
+    hash: u64,
+}
+
+impl Fx64 {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for Fx64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.hash)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Tag the remainder with its length so "ab" and "ab\0" differ.
+            self.add(u64::from_le_bytes(buf) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Fingerprint any hashable value with [`Fx64`].
+#[inline]
+pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = Fx64::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Identity hasher for keys that are already well-mixed 64-bit
+/// fingerprints: hashing them again would only waste cycles.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityU64 {
+    value: u64,
+}
+
+impl Hasher for IdentityU64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.value
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only `u64` keys are expected; fold other input conservatively.
+        for &b in bytes {
+            self.value = self.value.rotate_left(8) ^ b as u64;
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.value = v;
+    }
+}
+
+/// A map keyed by pre-mixed 64-bit fingerprints.
+pub type FingerprintMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityU64>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let a = fingerprint(&(vec![1u8, 2, 3], vec![9u64]));
+        let b = fingerprint(&(vec![1u8, 2, 3], vec![9u64]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearby_inputs_get_distinct_fingerprints() {
+        let base = fingerprint(&[0u8; 16]);
+        for i in 0..16 {
+            let mut v = [0u8; 16];
+            v[i] = 1;
+            assert_ne!(fingerprint(&v), base, "flip at byte {i}");
+        }
+        assert_ne!(fingerprint("ab"), fingerprint("ab\0"), "length-tagged");
+    }
+
+    #[test]
+    fn mix_spreads_small_differences() {
+        // Consecutive integers (the worst case for the raw Fx core) must
+        // land in different low bits after the finishing mix.
+        let low_bits: std::collections::HashSet<u64> =
+            (0u64..64).map(|i| fingerprint(&i) & 0xff).collect();
+        assert!(
+            low_bits.len() > 32,
+            "only {} distinct low bytes",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn identity_map_stores_and_finds() {
+        let mut m: FingerprintMap<&'static str> = FingerprintMap::default();
+        m.insert(fingerprint(&1u32), "one");
+        m.insert(fingerprint(&2u32), "two");
+        assert_eq!(m.get(&fingerprint(&1u32)), Some(&"one"));
+        assert_eq!(m.get(&fingerprint(&2u32)), Some(&"two"));
+        assert_eq!(m.len(), 2);
+    }
+}

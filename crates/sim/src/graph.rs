@@ -86,6 +86,10 @@ pub struct Topology {
     edges: Vec<(ProcessId, ProcessId)>,
     /// `edge_of[p]` maps a neighbor slot of `p` to the edge id.
     edge_of: Vec<Vec<EdgeId>>,
+    /// `closed[p]` is `p` followed by its sorted neighbors — the set of
+    /// processes whose guards an action (or arbitrary write) at `p` can
+    /// change, precomputed for the engine's dirty-set invalidation.
+    closed: Vec<Vec<ProcessId>>,
     /// All-pairs hop distances.
     dist: Vec<Vec<u32>>,
     diameter: u32,
@@ -143,6 +147,16 @@ impl Topology {
                 edge_of[p].push(EdgeId(eid));
             }
         }
+        let closed = adj
+            .iter()
+            .enumerate()
+            .map(|(p, list)| {
+                let mut c = Vec::with_capacity(list.len() + 1);
+                c.push(ProcessId(p));
+                c.extend_from_slice(list);
+                c
+            })
+            .collect();
         let dist = all_pairs_bfs(n, &adj);
         let mut diameter = 0;
         for row in &dist {
@@ -158,6 +172,7 @@ impl Topology {
             adj,
             edges,
             edge_of,
+            closed,
             dist,
             diameter,
             name: format!("custom(n={n})"),
@@ -332,6 +347,21 @@ impl Topology {
     #[inline]
     pub fn degree(&self, p: ProcessId) -> usize {
         self.adj[p.0].len()
+    }
+
+    /// The closed neighborhood of `p`: `p` itself followed by its sorted
+    /// neighbors. This is exactly the set of processes whose guard values
+    /// an action at `p` can change (guards read only a process's own
+    /// local, neighbor locals and incident edge variables — and `p` can
+    /// write only its own local and incident edges, malicious steps
+    /// included), so it is the engine's dirty set after a step at `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn closed_neighborhood(&self, p: ProcessId) -> &[ProcessId] {
+        &self.closed[p.0]
     }
 
     /// Maximum degree over all processes.
@@ -601,6 +631,18 @@ mod tests {
                 assert!((a == p && b == *q) || (a == *q && b == p));
             }
         }
+    }
+
+    #[test]
+    fn closed_neighborhood_is_self_then_neighbors() {
+        let t = Topology::grid(3, 2);
+        for p in t.processes() {
+            let cn = t.closed_neighborhood(p);
+            assert_eq!(cn[0], p, "closed neighborhood starts with the process");
+            assert_eq!(&cn[1..], t.neighbors(p));
+        }
+        let single = Topology::line(1);
+        assert_eq!(single.closed_neighborhood(ProcessId(0)), &[ProcessId(0)]);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod algorithm;
 pub mod engine;
 pub mod explore;
 pub mod fault;
+pub mod fingerprint;
 pub mod graph;
 pub mod metrics;
 pub mod predicate;
@@ -66,7 +67,7 @@ pub mod workload;
 pub use algorithm::{
     ActionId, ActionKind, Algorithm, DinerAlgorithm, Move, Phase, SystemState, View, Write,
 };
-pub use engine::{Engine, RunSummary, StepOutcome};
+pub use engine::{Engine, EnumerationMode, RunSummary, StepOutcome};
 pub use fault::{FaultKind, FaultPlan, Health};
 pub use graph::{EdgeId, ProcessId, Topology};
 pub use predicate::{Snapshot, StatePredicate};

@@ -10,7 +10,11 @@ use crate::algorithm::Phase;
 use crate::graph::ProcessId;
 
 /// Per-run service metrics, maintained by the engine.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every recorded quantity; the differential tests
+/// use it to prove the incremental engine reproduces the naive engine's
+/// metrics exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DinerMetrics {
     n: usize,
     eats: Vec<u64>,

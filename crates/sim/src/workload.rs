@@ -21,6 +21,18 @@ pub trait Workload {
         let _ = (pid, step);
     }
 
+    /// Whether `needs` can change with `step` alone.
+    ///
+    /// Return `false` only if, for every process `p`, `needs(p, step)` is
+    /// independent of `step` and changes exclusively through
+    /// `note_eat(p, _)` (never another process's meal). The incremental
+    /// engine then skips its per-step needs rescan and relies on dirty-set
+    /// invalidation: a meal at `p` marks `p` dirty, which re-evaluates
+    /// `needs(p, _)`. The default is `true` (always sound, just slower).
+    fn step_dependent(&self) -> bool {
+        true
+    }
+
     /// Workload name for reports.
     fn name(&self) -> &str;
 }
@@ -34,6 +46,9 @@ impl Workload for AlwaysHungry {
     fn needs(&self, _pid: ProcessId, _step: u64) -> bool {
         true
     }
+    fn step_dependent(&self) -> bool {
+        false
+    }
     fn name(&self) -> &str {
         "always-hungry"
     }
@@ -45,6 +60,9 @@ pub struct NeverHungry;
 
 impl Workload for NeverHungry {
     fn needs(&self, _pid: ProcessId, _step: u64) -> bool {
+        false
+    }
+    fn step_dependent(&self) -> bool {
         false
     }
     fn name(&self) -> &str {
@@ -123,6 +141,10 @@ impl Workload for QuotaWorkload {
         let r = &mut self.remaining[pid.index()];
         *r = r.saturating_sub(1);
     }
+    fn step_dependent(&self) -> bool {
+        // needs(p, _) changes only via note_eat(p, _).
+        false
+    }
     fn name(&self) -> &str {
         "quota"
     }
@@ -148,6 +170,9 @@ impl SubsetWorkload {
 impl Workload for SubsetWorkload {
     fn needs(&self, pid: ProcessId, _step: u64) -> bool {
         self.hungry[pid.index()]
+    }
+    fn step_dependent(&self) -> bool {
+        false
     }
     fn name(&self) -> &str {
         "subset"
@@ -233,5 +258,17 @@ mod tests {
         assert!(w.needs(ProcessId(0), 4));
         assert!(!w.needs(ProcessId(0), 5));
         assert_eq!(w.name(), "even-steps");
+    }
+
+    #[test]
+    fn step_dependence_flags() {
+        // Static / meal-driven workloads opt out of the per-step rescan;
+        // anything that can vary with the step keeps the safe default.
+        assert!(!AlwaysHungry.step_dependent());
+        assert!(!NeverHungry.step_dependent());
+        assert!(!QuotaWorkload::uniform(2, 1).step_dependent());
+        assert!(!SubsetWorkload::new(2, [ProcessId(0)]).step_dependent());
+        assert!(BernoulliWorkload::new(0, 1, 2).step_dependent());
+        assert!(FnWorkload::new("f", |_p, _s| true).step_dependent());
     }
 }

@@ -1,12 +1,102 @@
 //! Offline shim for the subset of the `crossbeam` 0.8 API this workspace
-//! uses: `channel::{unbounded, Sender, Receiver, RecvTimeoutError}`.
+//! uses: `channel::{unbounded, Sender, Receiver, RecvTimeoutError}` and
+//! `thread::scope`.
 //!
 //! The build environment has no network access and no registry cache, so
 //! the workspace vendors a minimal, API-compatible stand-in. The channel
 //! is a straightforward `Mutex<VecDeque>` + `Condvar` MPMC queue — ample
-//! for the thread-per-node runtime's traffic.
+//! for the thread-per-node runtime's traffic — and scoped threads are a
+//! thin wrapper over `std::thread::scope`.
 
 #![warn(missing_docs)]
+
+/// Scoped threads with the crossbeam 0.8 calling convention, backed by
+/// `std::thread::scope`.
+///
+/// One deviation: crossbeam returns `Err` when an *unjoined* spawned
+/// thread panicked, while this shim (like std) propagates such panics.
+/// Callers that join every handle — all callers in this workspace —
+/// observe identical behavior.
+pub mod thread {
+    use std::any::Any;
+    use std::thread;
+
+    /// Result of joining a (possibly panicked) thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread, allowing further borrowing spawns.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish and return its value (or its
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing scope. The
+        /// closure receives the scope again (crossbeam convention) so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope in which threads can borrow non-`'static` data;
+    /// every spawned thread is joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_the_scope_argument() {
+            let n = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+    }
+}
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {

@@ -39,4 +39,18 @@ fn main() {
     println!("{}", perf.explore);
     std::fs::write("BENCH_engine.json", &perf.json).expect("write benchmark JSON");
     println!("wrote BENCH_engine.json");
+
+    let tele = diners_bench::experiments::telemetry::run(quick);
+    println!("{}", tele.convergence);
+    println!("{}", tele.disturbance);
+    println!("{}", tele.network);
+    println!("{}", tele.explorer);
+    println!("{}", tele.overhead);
+    std::fs::write("BENCH_telemetry.json", &tele.json).expect("write telemetry JSON");
+    println!("wrote BENCH_telemetry.json");
+    assert!(
+        tele.max_radius <= 2,
+        "disturbance radius {} exceeds the paper's locality bound of 2",
+        tele.max_radius
+    );
 }

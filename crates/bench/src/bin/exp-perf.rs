@@ -4,20 +4,48 @@
 //! Flags:
 //!   --quick       reduced sizes and time budgets (CI smoke)
 //!   --out PATH    where to write the JSON (default BENCH_engine.json)
+//!   --check PATH  compare against a committed baseline JSON and exit
+//!                 non-zero if the incremental engine's speedup over
+//!                 naive regressed by more than 25% on any shared
+//!                 configuration (ratio-based, so machine-independent)
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let check = flag("--check");
+
+    // Read the baseline before writing --out: they may be the same path.
+    let baseline = check.map(|path| {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        (path, text)
+    });
 
     let report = diners_bench::experiments::perf::run(quick);
     println!("{}", report.engine);
     println!("{}", report.explore);
     std::fs::write(&out, &report.json).expect("write benchmark JSON");
     println!("wrote {out}");
+
+    if let Some((path, baseline)) = baseline {
+        let check =
+            diners_bench::experiments::perf::check_against_baseline(&report.json, &baseline, 0.25)
+                .unwrap_or_else(|e| panic!("baseline check against {path}: {e}"));
+        println!("{}", check.table);
+        if !check.regressions.is_empty() {
+            eprintln!("performance regressions vs {path}:");
+            for r in &check.regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        println!("no regressions vs {path}");
+    }
 }

@@ -1,0 +1,35 @@
+//! T11 — observability: convergence telemetry, disturbance radius,
+//! network counters, explorer statistics, and telemetry overhead.
+//! Prints the result tables and writes the machine-readable JSON.
+//!
+//! Flags:
+//!   --quick       reduced topologies, seeds and budgets (CI smoke)
+//!   --out PATH    where to write the JSON (default BENCH_telemetry.json)
+//!
+//! Exits non-zero if any single-crash scenario shows a disturbance
+//! radius above the paper's failure-locality bound of 2.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_telemetry.json".to_string());
+
+    let report = diners_bench::experiments::telemetry::run(quick);
+    println!("{}", report.convergence);
+    println!("{}", report.disturbance);
+    println!("{}", report.network);
+    println!("{}", report.explorer);
+    println!("{}", report.overhead);
+    std::fs::write(&out, &report.json).expect("write telemetry JSON");
+    println!("wrote {out}");
+    assert!(
+        report.max_radius <= 2,
+        "disturbance radius {} exceeds the paper's locality bound of 2",
+        report.max_radius
+    );
+}

@@ -13,4 +13,5 @@ pub mod masking;
 pub mod message_passing;
 pub mod perf;
 pub mod stabilization;
+pub mod telemetry;
 pub mod throughput;

@@ -47,7 +47,10 @@ fn family_of(topo: &Topology) -> &str {
 
 /// Steps/sec of `engine`, measured adaptively: chunks of `CHUNK` steps
 /// until at least `budget` wall-clock has elapsed (always ≥ 1 chunk).
-fn steps_per_sec<A: DinerAlgorithm>(engine: &mut Engine<A>, budget: Duration) -> (f64, u64) {
+pub(crate) fn steps_per_sec<A: DinerAlgorithm>(
+    engine: &mut Engine<A>,
+    budget: Duration,
+) -> (f64, u64) {
     const CHUNK: u64 = 1_000;
     engine.run(CHUNK); // warmup: populate caches, fault state, branch predictors
     let start = Instant::now();
@@ -259,9 +262,171 @@ pub fn run(quick: bool) -> PerfReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Baseline regression guard
+// ---------------------------------------------------------------------------
+
+/// Outcome of comparing a fresh perf run against a committed baseline.
+pub struct BaselineCheck {
+    /// Per-configuration comparison rows.
+    pub table: Table,
+    /// Human-readable description of each regression (empty = pass).
+    pub regressions: Vec<String>,
+}
+
+/// Parse the first number following `key` inside `obj`.
+fn num_after(obj: &str, key: &str) -> Option<f64> {
+    let i = obj.find(key)? + key.len();
+    let tail = &obj[i..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Extract `(family, n, speedup)` triples from the `engine` section of a
+/// `BENCH_engine.json` blob. Tolerant of whitespace differences; only
+/// engine entries carry a `"family"` key, so no section tracking is
+/// needed.
+fn engine_entries(json: &str) -> Vec<(String, usize, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"family\":\"") {
+        let after = &rest[i + 10..];
+        let Some(q) = after.find('"') else { break };
+        let family = after[..q].to_string();
+        let obj = &after[..after.find('}').unwrap_or(after.len())];
+        if let (Some(n), Some(s)) = (num_after(obj, "\"n\":"), num_after(obj, "\"speedup\":")) {
+            out.push((family, n as usize, s));
+        }
+        rest = &after[q..];
+    }
+    out
+}
+
+/// Compare a fresh T10 run against a committed baseline and flag
+/// configurations where the incremental engine's advantage regressed.
+///
+/// Raw steps/sec is machine-dependent (the committed baseline may come
+/// from different hardware), so the guard compares the *speedup ratio*
+/// incremental/naive per `(family, n)` — both modes run on the same
+/// machine in the same process, so the ratio normalizes machine speed
+/// away while still catching anything that slows the incremental hot
+/// path (e.g. accidental work on the telemetry-disabled branch). A
+/// configuration regresses when its current speedup falls below
+/// `1 - tolerance` of the baseline's.
+///
+/// Only configurations present in both blobs are compared (a `--quick`
+/// run checks against a full baseline's intersection); it is an error
+/// for the intersection to be empty.
+pub fn check_against_baseline(
+    current: &str,
+    baseline: &str,
+    tolerance: f64,
+) -> Result<BaselineCheck, String> {
+    let cur = engine_entries(current);
+    let base = engine_entries(baseline);
+    if base.is_empty() {
+        return Err("baseline JSON has no engine entries".to_string());
+    }
+    let mut table = Table::new(
+        format!(
+            "T10 regression check: incremental/naive speedup vs baseline (tolerance {:.0}%)",
+            tolerance * 100.0
+        ),
+        ["family", "n", "base", "current", "ratio", "verdict"],
+    );
+    let mut regressions = Vec::new();
+    let mut compared = 0;
+    for (family, n, b) in &base {
+        let Some((_, _, c)) = cur.iter().find(|(f, m, _)| f == family && m == n) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = c / b;
+        let ok = ratio >= 1.0 - tolerance;
+        if !ok {
+            regressions.push(format!(
+                "{family}(n={n}): speedup {c:.2} is {:.0}% of baseline {b:.2}",
+                ratio * 100.0
+            ));
+        }
+        table.row([
+            family.clone(),
+            n.to_string(),
+            fmt_f64(*b, 2),
+            fmt_f64(*c, 2),
+            fmt_f64(ratio, 2),
+            if ok { "ok" } else { "REGRESSED" }.to_string(),
+        ]);
+    }
+    if compared == 0 {
+        return Err("no overlapping (family, n) configurations between run and baseline".into());
+    }
+    Ok(BaselineCheck { table, regressions })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn entry(family: &str, n: usize, speedup: f64) -> String {
+        format!("{{\"family\":\"{family}\",\"n\":{n},\"speedup\":{speedup:.3}}}")
+    }
+
+    #[test]
+    fn baseline_check_flags_only_real_regressions() {
+        let baseline = format!(
+            "{{\"engine\":[{},{}]}}",
+            entry("ring", 64, 10.0),
+            entry("line", 64, 8.0)
+        );
+        // Within tolerance: a bit slower, plus an extra config the
+        // baseline lacks (ignored).
+        let ok = format!(
+            "{{\"engine\":[{},{},{}]}}",
+            entry("ring", 64, 8.0),
+            entry("line", 64, 8.5),
+            entry("grid", 64, 3.0)
+        );
+        let check = check_against_baseline(&ok, &baseline, 0.25).unwrap();
+        assert!(check.regressions.is_empty(), "{:?}", check.regressions);
+        assert_eq!(check.table.len(), 2);
+
+        // ring collapses below 75% of baseline.
+        let bad = format!(
+            "{{\"engine\":[{},{}]}}",
+            entry("ring", 64, 7.0),
+            entry("line", 64, 8.0)
+        );
+        let check = check_against_baseline(&bad, &baseline, 0.25).unwrap();
+        assert_eq!(check.regressions.len(), 1);
+        assert!(check.regressions[0].contains("ring(n=64)"));
+        assert!(check.table.render().contains("REGRESSED"));
+
+        // Disjoint configurations are an error, not a silent pass.
+        let disjoint = format!("{{\"engine\":[{}]}}", entry("star", 8, 2.0));
+        assert!(check_against_baseline(&disjoint, &baseline, 0.25).is_err());
+        assert!(check_against_baseline("{}", &baseline, 0.25).is_err());
+        assert!(check_against_baseline(&ok, "{}", 0.25).is_err());
+    }
+
+    #[test]
+    fn engine_entries_parse_the_committed_shape() {
+        let json = concat!(
+            "{\n  \"engine\": [\n    ",
+            "{\"family\":\"ring\",\"n\":16,\"naive_steps_per_sec\":374474.3,",
+            "\"naive_steps\":188000,\"incremental_steps_per_sec\":1598861.8,",
+            "\"incremental_steps\":800000,\"speedup\":4.270}\n  ],\n",
+            "  \"explore\": [\n    ",
+            "{\"case\":\"toy-ring(n=12)\",\"states\":172928,\"speedup\":0.860}\n  ]\n}\n"
+        );
+        let entries = engine_entries(json);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "ring");
+        assert_eq!(entries[0].1, 16);
+        assert!((entries[0].2 - 4.270).abs() < 1e-9);
+    }
 
     #[test]
     fn quick_sweep_produces_tables_and_well_formed_json() {

@@ -16,6 +16,7 @@
 //! | T8   | daemon robustness (synchronous rounds)  | [`experiments::daemons`] |
 //! | T9   | chaos soak — randomized link faults     | [`experiments::chaos`] |
 //! | T10  | substrate perf — engine & explorer      | [`experiments::perf`] |
+//! | T11  | observability — telemetry & disturbance | [`experiments::telemetry`] |
 //!
 //! Run them all with `cargo run -p diners-bench --release --bin exp-all`,
 //! or individually via the `exp-*` binaries.

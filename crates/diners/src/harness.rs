@@ -3,9 +3,10 @@
 
 use diners_sim::algorithm::DinerAlgorithm;
 use diners_sim::engine::Engine;
-use diners_sim::fault::FaultPlan;
-use diners_sim::graph::Topology;
-use diners_sim::scheduler::RandomScheduler;
+use diners_sim::fault::{FaultKind, FaultPlan};
+use diners_sim::graph::{ProcessId, Topology};
+use diners_sim::scheduler::{LeastRecentScheduler, RandomScheduler};
+use diners_sim::telemetry::{self, Deviation, DisturbanceReport, Telemetry};
 
 use crate::algorithm::MaliciousCrashDiners;
 use crate::predicates::Invariant;
@@ -49,6 +50,101 @@ pub fn stabilization_steps(
         .seed(seed)
         .build();
     engine.convergence_step(&invariant, horizon)
+}
+
+/// Like [`stabilization_steps`], but with telemetry attached: the run's
+/// action-fire counters and hungry→eat latency histogram are collected,
+/// and the convergence time is recorded into the
+/// `convergence.steps_to_invariant` histogram. Returns the convergence
+/// step (if any) plus the telemetry for report rendering.
+pub fn stabilization_with_telemetry(
+    alg: MaliciousCrashDiners,
+    topo: Topology,
+    seed: u64,
+    horizon: u64,
+) -> (Option<u64>, Telemetry) {
+    let invariant = Invariant::for_algorithm(&alg);
+    let mut engine = Engine::builder(alg, topo)
+        .scheduler(RandomScheduler::new(seed))
+        .faults(FaultPlan::new().from_arbitrary_state())
+        .seed(seed)
+        .telemetry(Telemetry::new())
+        .build();
+    let converged = engine.convergence_step(&invariant, horizon);
+    let mut tele = engine.take_telemetry().expect("telemetry was attached");
+    let reg = tele.registry_mut();
+    let hist = reg.histogram("convergence.steps_to_invariant");
+    if let Some(at) = converged {
+        reg.record(hist, at);
+    }
+    let timeouts = reg.counter("convergence.horizon_exhausted");
+    if converged.is_none() {
+        reg.inc(timeouts);
+    }
+    (converged, tele)
+}
+
+/// The action names that constitute *service* for the diners algorithms:
+/// the transition into eating. Used as the projection for
+/// [`Deviation::Shortfall`] locality measurements.
+pub const SERVICE_ACTIONS: &[&str] = &["enter"];
+
+/// The default deviation rule for diner locality measurements: a process
+/// is disturbed only if the crash costs it more than `slack` meals
+/// relative to the fault-free twin run.
+pub fn service_shortfall(slack: u64) -> Deviation {
+    Deviation::Shortfall {
+        actions: SERVICE_ACTIONS,
+        slack,
+    }
+}
+
+/// Measure the empirical disturbance radius of one crash: run the
+/// algorithm twice under the deterministic least-recent daemon — once
+/// fault-free, once with `kind` striking `crash_site` at `crash_step` —
+/// and compare per-process action projections under `rule` (see
+/// [`diners_sim::telemetry::disturbance_radius`]).
+///
+/// Use [`service_shortfall`] as the rule for locality claims: the
+/// paper's failure-locality-2 theorem predicts a radius ≤ 2 in meal
+/// shortfall, while raw trace comparison registers the global schedule
+/// shift the crash induces and over-reports.
+///
+/// # Panics
+///
+/// Panics if `kind` is not a crash fault (transient faults have no
+/// crash site to measure from).
+#[allow(clippy::too_many_arguments)]
+pub fn crash_disturbance<A: DinerAlgorithm + Clone>(
+    alg: A,
+    topo: &Topology,
+    crash_site: ProcessId,
+    kind: FaultKind,
+    crash_step: u64,
+    steps: u64,
+    rule: &Deviation,
+    seed: u64,
+) -> DisturbanceReport {
+    let faults = match kind {
+        FaultKind::Crash => FaultPlan::new().crash(crash_step, crash_site),
+        FaultKind::MaliciousCrash { steps } => {
+            FaultPlan::new().malicious_crash(crash_step, crash_site, steps)
+        }
+        other => panic!("crash_disturbance measures crash locality, got {other}"),
+    };
+    let run = |plan: FaultPlan| {
+        let mut engine = Engine::builder(alg.clone(), topo.clone())
+            .scheduler(LeastRecentScheduler::new())
+            .faults(plan)
+            .seed(seed)
+            .record_trace(true)
+            .build();
+        engine.run(steps);
+        engine
+    };
+    let baseline = run(FaultPlan::none());
+    let faulty = run(faults);
+    telemetry::disturbance_radius(topo, baseline.trace(), faulty.trace(), crash_site, rule)
 }
 
 /// Fault-free service statistics over a run.

@@ -300,6 +300,60 @@ impl AdversaryPlan {
     }
 }
 
+/// Running tally of adversary verdicts at one send boundary, derived by
+/// comparing each original message with what the adversary produced.
+/// Both network backends maintain one; telemetry and the T11 experiment
+/// read it back.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the link layer.
+    pub sent: u64,
+    /// Sends the adversary swallowed entirely (loss or cut link).
+    pub dropped: u64,
+    /// Extra delivery copies beyond the originals.
+    pub duplicated: u64,
+    /// Deliveries held back by a nonzero delay.
+    pub delayed: u64,
+    /// Deliveries allowed to overtake earlier traffic.
+    pub reordered: u64,
+    /// Deliveries whose payload was altered in flight.
+    pub corrupted: u64,
+}
+
+impl NetStats {
+    /// Classify one send: `original` is what the node emitted,
+    /// `deliveries` what the adversary let through.
+    pub fn absorb(&mut self, original: &LinkMsg, deliveries: &[Delivery]) {
+        self.sent += 1;
+        if deliveries.is_empty() {
+            self.dropped += 1;
+            return;
+        }
+        self.duplicated += deliveries.len() as u64 - 1;
+        for d in deliveries {
+            if d.delay > 0 {
+                self.delayed += 1;
+            }
+            if d.reorder_key.is_some() {
+                self.reordered += 1;
+            }
+            if d.msg != *original {
+                self.corrupted += 1;
+            }
+        }
+    }
+
+    /// Fold another tally into this one (per-thread roll-up).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.reordered += other.reordered;
+        self.corrupted += other.corrupted;
+    }
+}
+
 /// One delivery produced by filtering a send through the adversary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Delivery {

@@ -39,7 +39,7 @@ pub mod node;
 pub mod runtime;
 pub mod simnet;
 
-pub use adversary::{AdversaryPlan, LinkAdversary};
+pub use adversary::{AdversaryPlan, LinkAdversary, NetStats};
 pub use message::LinkMsg;
 pub use node::{Node, NodeConfig, NodeEvent};
 pub use runtime::ThreadRuntime;

@@ -122,6 +122,11 @@ pub struct Node {
     meals: u64,
     /// Set when a meal begins; the meal ends at the next event.
     just_entered: bool,
+    /// Observability: timer-driven re-sends of a link's last message.
+    /// Not protocol state — transient corruption leaves these intact.
+    retransmits: u64,
+    /// Observability: stale-run resyncs (receive-cursor adoptions).
+    resyncs: u64,
 }
 
 impl Node {
@@ -161,7 +166,22 @@ impl Node {
             links,
             meals: 0,
             just_entered: false,
+            retransmits: 0,
+            resyncs: 0,
         }
+    }
+
+    /// Timer-driven retransmissions performed so far (first sends on a
+    /// link are not counted).
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Stale-run resyncs performed so far: deliveries adopted despite a
+    /// non-fresh sequence number because `RESYNC_AFTER` consecutive
+    /// stale messages proved our cursor was the corrupted side.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 
     /// This node's id.
@@ -297,7 +317,7 @@ impl Node {
                 if !self.cfg.neighbors.contains(&from) {
                     return Vec::new(); // stray message
                 }
-                {
+                let resynced = {
                     let l = self.link_mut(from);
                     // Any inbound traffic proves the peer reachable:
                     // restart the retransmission backoff so a live link
@@ -320,6 +340,10 @@ impl Node {
                     }
                     l.recv_seq = msg.seq;
                     l.stale_run = 0;
+                    !fresh
+                };
+                if resynced {
+                    self.resyncs += 1;
                 }
                 if !self.link(from).hs.accepts(msg.k) {
                     // Duplicate / stale by alternation: ignore; ticks
@@ -352,7 +376,10 @@ impl Node {
                         // Retransmit the exact previous message (same
                         // sequence number): the receiver drops it cold
                         // if the original already arrived.
-                        Some(m) => m,
+                        Some(m) => {
+                            self.retransmits += 1;
+                            m
+                        }
                         // First send on this link.
                         None => self.compose(peer),
                     };

@@ -35,7 +35,7 @@ use diners_sim::graph::{ProcessId, Topology};
 use diners_sim::rng;
 use diners_sim::Phase;
 
-use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary};
+use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary, NetStats};
 use crate::message::LinkMsg;
 use crate::node::{Node, NodeConfig, NodeEvent};
 
@@ -72,10 +72,54 @@ fn u8_to_phase(v: u8) -> Phase {
     }
 }
 
+/// Aggregate adversary-verdict counters, updated by every sender thread.
+#[derive(Default)]
+struct SharedNet {
+    sent: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    reordered: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+impl SharedNet {
+    fn add(&self, t: &NetStats) {
+        // Skip zero adds: most sends are clean and touch one counter.
+        for (cell, v) in [
+            (&self.sent, t.sent),
+            (&self.dropped, t.dropped),
+            (&self.duplicated, t.duplicated),
+            (&self.delayed, t.delayed),
+            (&self.reordered, t.reordered),
+            (&self.corrupted, t.corrupted),
+        ] {
+            if v > 0 {
+                cell.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct Shared {
     phases: Vec<AtomicU8>,
     meals: Vec<AtomicU64>,
     dead: Vec<AtomicBool>,
+    /// Per-node protocol-hardening counters, published with each phase.
+    retransmits: Vec<AtomicU64>,
+    resyncs: Vec<AtomicU64>,
+    net: SharedNet,
 }
 
 /// A running fleet of diner threads.
@@ -109,6 +153,9 @@ impl ThreadRuntime {
             phases: (0..n).map(|_| AtomicU8::new(0)).collect(),
             meals: (0..n).map(|_| AtomicU64::new(0)).collect(),
             dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            retransmits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            resyncs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            net: SharedNet::default(),
         });
         let channels: Vec<(Sender<Wire>, Receiver<Wire>)> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Wire>> = channels.iter().map(|(s, _)| s.clone()).collect();
@@ -159,6 +206,29 @@ impl ThreadRuntime {
     /// Whether node `p` has halted.
     pub fn is_dead(&self, p: ProcessId) -> bool {
         self.shared.dead[p.index()].load(Ordering::SeqCst)
+    }
+
+    /// Sampled adversary verdicts aggregated over all sender threads.
+    pub fn net_stats(&self) -> NetStats {
+        self.shared.net.snapshot()
+    }
+
+    /// Sampled total of timer-driven retransmissions across all nodes.
+    pub fn retransmits(&self) -> u64 {
+        self.shared
+            .retransmits
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// Sampled total of stale-run resyncs across all nodes.
+    pub fn resyncs(&self) -> u64 {
+        self.shared
+            .resyncs
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .sum()
     }
 
     /// Inject a benign crash.
@@ -212,6 +282,8 @@ struct FaultySender {
     /// Messages held back by the adversary: `(due_tick, to, msg)`.
     held: Vec<(u64, ProcessId, LinkMsg)>,
     scratch: Vec<Delivery>,
+    /// Aggregate verdict counters, shared with the monitor.
+    shared: Shared2,
 }
 
 impl FaultySender {
@@ -225,6 +297,9 @@ impl FaultySender {
         for (to, msg) in outs {
             let mut ds = std::mem::take(&mut self.scratch);
             self.adversary.apply(now, self.id, to, msg, false, &mut ds);
+            let mut tally = NetStats::default();
+            tally.absorb(&msg, &ds);
+            self.shared.net.add(&tally);
             for d in ds.drain(..) {
                 // Real channels are FIFO, so "reordering" is realized as
                 // a little extra hold-back on the affected copy.
@@ -273,11 +348,14 @@ fn node_thread(
         adversary: LinkAdversary::new(plan, seed),
         held: Vec::new(),
         scratch: Vec::new(),
+        shared: Arc::clone(&shared),
     };
     let mut ticks: u64 = 0;
     let publish = |node: &Node| {
         shared.phases[id.index()].store(phase_to_u8(node.phase()), Ordering::SeqCst);
         shared.meals[id.index()].store(node.meals(), Ordering::SeqCst);
+        shared.retransmits[id.index()].store(node.retransmits(), Ordering::SeqCst);
+        shared.resyncs[id.index()].store(node.resyncs(), Ordering::SeqCst);
     };
     publish(&node);
     // Ticks must fire even under continuous traffic: the stabilizing

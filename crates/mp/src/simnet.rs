@@ -21,7 +21,7 @@ use diners_sim::graph::{ProcessId, Topology};
 use diners_sim::rng;
 use diners_sim::Phase;
 
-use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary};
+use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary, NetStats};
 use crate::message::LinkMsg;
 use crate::node::{Node, NodeConfig, NodeEvent};
 
@@ -57,6 +57,10 @@ pub struct SimNet {
     meals_seen: Vec<u64>,
     violation_steps: u64,
     last_violation: Option<u64>,
+    /// Adversary verdicts tallied at the send boundary.
+    net_stats: NetStats,
+    /// Deliveries discarded because a link queue was full.
+    shed: u64,
 }
 
 impl SimNet {
@@ -110,8 +114,31 @@ impl SimNet {
             meals_seen: vec![0; n],
             violation_steps: 0,
             last_violation: None,
+            net_stats: NetStats::default(),
+            shed: 0,
             topo,
         }
+    }
+
+    /// Adversary verdicts observed so far (sends, drops, duplicates,
+    /// delays, reorders, corruptions).
+    pub fn net_stats(&self) -> NetStats {
+        self.net_stats
+    }
+
+    /// Deliveries discarded because a link queue hit its capacity.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Total timer-driven retransmissions across all nodes.
+    pub fn retransmits(&self) -> u64 {
+        self.nodes.iter().map(Node::retransmits).sum()
+    }
+
+    /// Total stale-run resyncs across all nodes.
+    pub fn resyncs(&self) -> u64 {
+        self.nodes.iter().map(Node::resyncs).sum()
     }
 
     /// Make every link lossy: each sent message is independently dropped
@@ -355,6 +382,7 @@ impl SimNet {
             byzantine_adjacent,
             &mut deliveries,
         );
+        self.net_stats.absorb(&msg, &deliveries);
         let e = self
             .topo
             .edge_between(from, to)
@@ -364,7 +392,9 @@ impl SimNet {
         let q = &mut self.queues[e.index() * 2 + dir];
         for d in &deliveries {
             if q.len() >= QUEUE_CAP {
-                break; // shed the pile-up; retransmission recovers
+                // Shed the pile-up; retransmission recovers.
+                self.shed += 1;
+                continue;
             }
             let queued = Queued {
                 msg: d.msg,
@@ -411,6 +441,29 @@ mod tests {
             assert!(net.meals_of(p) > 0, "{p} never ate");
         }
         assert_eq!(net.violation_steps(), 0, "exclusion from legit start");
+        let stats = net.net_stats();
+        assert!(stats.sent > 0);
+        assert_eq!(stats.dropped + stats.duplicated + stats.corrupted, 0);
+    }
+
+    #[test]
+    fn net_stats_classify_adversary_verdicts() {
+        let plan = AdversaryPlan::new()
+            .loss(200)
+            .duplication(200)
+            .delay(200, 3);
+        let mut net = SimNet::with_adversary(Topology::ring(4), FaultPlan::none(), plan, 9);
+        net.run(20_000);
+        let stats = net.net_stats();
+        assert!(stats.sent > 0);
+        assert!(stats.dropped > 0, "{stats:?}");
+        assert!(stats.duplicated > 0, "{stats:?}");
+        assert!(stats.delayed > 0, "{stats:?}");
+        assert_eq!(stats.corrupted, 0, "no byzantine node, so no corruption");
+        assert!(
+            net.retransmits() > 0,
+            "a lossy link must trigger retransmissions"
+        );
     }
 
     #[test]

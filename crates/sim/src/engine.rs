@@ -47,8 +47,46 @@ use crate::metrics::DinerMetrics;
 use crate::predicate::{Snapshot, StatePredicate};
 use crate::rng;
 use crate::scheduler::{EnabledMove, LeastRecentScheduler, Scheduler};
+use crate::telemetry::{CounterId, HistogramId, Telemetry, TelemetryKind};
 use crate::trace::{Event, EventKind, Trace};
 use crate::workload::{AlwaysHungry, Workload};
+
+/// Telemetry plus the metric handles the engine's hot path uses, prepared
+/// once at build time so instrumented sites pay an index, not a lookup.
+/// Boxed inside the engine: the disabled path is a single null check.
+struct TelemetryState {
+    tele: Telemetry,
+    /// Fire counter per action kind (indexed like `Algorithm::kinds`).
+    action_fires: Vec<CounterId>,
+    malicious_steps: CounterId,
+    faults: CounterId,
+    phase_changes: CounterId,
+    /// Steps spent hungry before each transition into `Eating`.
+    hungry_to_eat: HistogramId,
+}
+
+impl TelemetryState {
+    fn prepare<A: DinerAlgorithm>(mut tele: Telemetry, alg: &A) -> Box<Self> {
+        let reg = tele.registry_mut();
+        let action_fires = alg
+            .kinds()
+            .iter()
+            .map(|k| reg.counter(&format!("engine.action.{}", k.name)))
+            .collect();
+        let malicious_steps = reg.counter("engine.malicious_steps");
+        let faults = reg.counter("engine.faults");
+        let phase_changes = reg.counter("engine.phase_changes");
+        let hungry_to_eat = reg.histogram("engine.hungry_to_eat_steps");
+        Box::new(TelemetryState {
+            tele,
+            action_fires,
+            malicious_steps,
+            faults,
+            phase_changes,
+            hungry_to_eat,
+        })
+    }
+}
 
 /// What happened in one engine step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -208,6 +246,7 @@ pub struct EngineBuilder<A: DinerAlgorithm> {
     record_trace: bool,
     initial_state: Option<SystemState<A>>,
     mode: EnumerationMode,
+    telemetry: Option<Telemetry>,
 }
 
 impl<A: DinerAlgorithm> EngineBuilder<A> {
@@ -265,6 +304,16 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
         self
     }
 
+    /// Attach an observability handle (default: none). Telemetry never
+    /// touches the engine's RNG, scheduler or state, so an instrumented
+    /// run is step-for-step identical to a bare one; read results back
+    /// with [`Engine::telemetry`] or [`Engine::take_telemetry`].
+    #[must_use]
+    pub fn telemetry(mut self, tele: Telemetry) -> Self {
+        self.telemetry = Some(tele);
+        self
+    }
+
     /// Construct the engine.
     pub fn build(self) -> Engine<A> {
         let mut rng = rng::rng(rng::subseed(self.seed, 0xE61E));
@@ -286,6 +335,9 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
             .map(|i| self.workload.needs(ProcessId(i), 0))
             .collect();
         let step_dependent_needs = self.workload.step_dependent();
+        let telemetry = self
+            .telemetry
+            .map(|tele| TelemetryState::prepare(tele, &self.alg));
         let mut engine = Engine {
             metrics: DinerMetrics::new(n),
             last_phase: (0..n)
@@ -316,6 +368,7 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
             eat_pairs_live: 0,
             annotated: Vec::new(),
             scratch: Vec::new(),
+            telemetry,
         };
         let (total, live) = engine.eating_pairs_scan();
         engine.eat_pairs_total = total;
@@ -364,6 +417,8 @@ pub struct Engine<A: DinerAlgorithm> {
     /// Scratch buffers reused across steps to avoid per-step allocation.
     annotated: Vec<EnabledMove>,
     scratch: Vec<Move>,
+    /// Observability (None = disabled; every site is one null check).
+    telemetry: Option<Box<TelemetryState>>,
 }
 
 impl<A: DinerAlgorithm> Engine<A> {
@@ -379,7 +434,24 @@ impl<A: DinerAlgorithm> Engine<A> {
             record_trace: false,
             initial_state: None,
             mode: EnumerationMode::default(),
+            telemetry: None,
         }
+    }
+
+    /// The attached telemetry, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref().map(|ts| &ts.tele)
+    }
+
+    /// Mutable access to the attached telemetry, if any.
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_deref_mut().map(|ts| &mut ts.tele)
+    }
+
+    /// Detach and return the telemetry (e.g. to fold one run's metrics
+    /// into a report while the engine is dropped).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take().map(|ts| ts.tele)
     }
 
     /// The algorithm under simulation.
@@ -834,6 +906,11 @@ impl<A: DinerAlgorithm> Engine<A> {
                 pid: ev.target,
                 kind: EventKind::Fault(ev.kind),
             });
+            if let Some(ts) = self.telemetry.as_deref_mut() {
+                let id = ts.faults;
+                ts.tele.registry_mut().inc(id);
+                ts.tele.emit(step, ev.target, TelemetryKind::Fault(ev.kind));
+            }
         }
     }
 
@@ -873,6 +950,11 @@ impl<A: DinerAlgorithm> Engine<A> {
                 pid,
                 kind: EventKind::MaliciousStep,
             });
+            if let Some(ts) = self.telemetry.as_deref_mut() {
+                let id = ts.malicious_steps;
+                ts.tele.registry_mut().inc(id);
+                ts.tele.emit(self.step, pid, TelemetryKind::MaliciousStep);
+            }
             w
         } else {
             let needs = self.workload.needs(pid, self.step);
@@ -892,6 +974,18 @@ impl<A: DinerAlgorithm> Engine<A> {
                     name: kind.name,
                 },
             });
+            if let Some(ts) = self.telemetry.as_deref_mut() {
+                let id = ts.action_fires[mv.action.kind];
+                ts.tele.registry_mut().inc(id);
+                ts.tele.emit(
+                    self.step,
+                    pid,
+                    TelemetryKind::Action {
+                        name: kind.name,
+                        slot: mv.action.slot,
+                    },
+                );
+            }
             w
         };
 
@@ -912,6 +1006,26 @@ impl<A: DinerAlgorithm> Engine<A> {
         self.update_eating_pairs(pid, before, after);
         self.last_phase[pid.index()] = after;
         if before != after {
+            if let Some(ts) = self.telemetry.as_deref_mut() {
+                let id = ts.phase_changes;
+                ts.tele.registry_mut().inc(id);
+                if after == Phase::Eating {
+                    if let Some(since) = self.metrics.hungry_since(pid) {
+                        let hist = ts.hungry_to_eat;
+                        ts.tele
+                            .registry_mut()
+                            .record(hist, self.step.saturating_sub(since));
+                    }
+                }
+                ts.tele.emit(
+                    self.step,
+                    pid,
+                    TelemetryKind::PhaseChange {
+                        from: before,
+                        to: after,
+                    },
+                );
+            }
             self.metrics.on_phase_change(pid, before, after, self.step);
             if after == Phase::Eating {
                 self.workload.note_eat(pid, self.step);

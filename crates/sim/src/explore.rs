@@ -76,6 +76,14 @@ pub struct ExplorationReport {
     pub elapsed: Duration,
     /// Worker threads used to expand frontiers (1 = sequential).
     pub threads: usize,
+    /// BFS layers expanded (frontier generations, excluding the empty
+    /// final one).
+    pub layers: usize,
+    /// Largest frontier expanded in any layer.
+    pub peak_frontier: usize,
+    /// Successor states already interned when reached again (dedup
+    /// rate = `dedup_hits / transitions`).
+    pub dedup_hits: u64,
 }
 
 impl ExplorationReport {
@@ -93,6 +101,16 @@ impl ExplorationReport {
             self.states as f64 / secs
         } else {
             0.0
+        }
+    }
+
+    /// Fraction of explored transitions that landed on an already-known
+    /// state (`0.0` before any transition).
+    pub fn dedup_rate(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.transitions as f64
         }
     }
 }
@@ -301,6 +319,9 @@ where
         truncated: false,
         elapsed: Duration::ZERO,
         threads,
+        layers: 0,
+        peak_frontier: 0,
+        dedup_hits: 0,
     };
 
     let check = |state: &SystemState<A>| -> bool {
@@ -321,6 +342,10 @@ where
     let mut frontier = vec![0usize];
 
     'bfs: while !frontier.is_empty() {
+        // Per-layer stats run in the sequential merge, so the sequential
+        // and parallel paths populate them identically.
+        report.layers += 1;
+        report.peak_frontier = report.peak_frontier.max(frontier.len());
         let expansions = expand_layer(&frontier, &search.states);
         let mut next_frontier = Vec::new();
         for exp in expansions {
@@ -332,6 +357,7 @@ where
                 report.transitions += 1;
                 let (idx, is_new) = search.intern(next, fp, Some((exp.parent, mv)));
                 if !is_new {
+                    report.dedup_hits += 1;
                     continue;
                 }
                 if !check(&search.states[idx]) {
@@ -638,6 +664,33 @@ mod tests {
         assert_eq!(a.deadlocks, b.deadlocks);
         assert_eq!(a.violation, b.violation);
         assert_eq!(a.truncated, b.truncated);
+        assert_eq!(a.layers, b.layers);
+        assert_eq!(a.peak_frontier, b.peak_frontier);
+        assert_eq!(a.dedup_hits, b.dedup_hits);
+    }
+
+    #[test]
+    fn layer_stats_populated_in_sequential_path() {
+        let topo = Topology::ring(5);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let rep = explore(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(5),
+            &[true; 5],
+            exclusion,
+            Limits::default(),
+        );
+        assert!(rep.layers > 1, "expected multiple BFS layers");
+        assert!(rep.peak_frontier >= 1);
+        assert!(rep.dedup_hits > 0, "a ring search must revisit states");
+        assert!(rep.dedup_rate() > 0.0 && rep.dedup_rate() < 1.0);
+        assert_eq!(
+            rep.transitions,
+            rep.dedup_hits + rep.states as u64 - 1,
+            "every transition either discovers a state or is a dedup hit"
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod sync;
 pub mod table;
+pub mod telemetry;
 pub mod toy;
 pub mod trace;
 pub mod workload;
@@ -72,4 +73,8 @@ pub use fault::{FaultKind, FaultPlan, Health};
 pub use graph::{EdgeId, ProcessId, Topology};
 pub use predicate::{Snapshot, StatePredicate};
 pub use scheduler::Scheduler;
+pub use telemetry::{
+    Deviation, EventSink, JsonlSink, MetricsRegistry, NetOp, RingSink, Telemetry, TelemetryEvent,
+    TelemetryKind,
+};
 pub use workload::Workload;

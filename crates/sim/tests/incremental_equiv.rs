@@ -169,6 +169,9 @@ fn assert_same_search(a: &ExplorationReport, b: &ExplorationReport, label: &str)
     assert_eq!(a.deadlocks, b.deadlocks, "{label}: deadlocks");
     assert_eq!(a.violation, b.violation, "{label}: violation trace");
     assert_eq!(a.truncated, b.truncated, "{label}: truncation");
+    assert_eq!(a.layers, b.layers, "{label}: layers");
+    assert_eq!(a.peak_frontier, b.peak_frontier, "{label}: peak frontier");
+    assert_eq!(a.dedup_hits, b.dedup_hits, "{label}: dedup hits");
 }
 
 #[test]

@@ -1,0 +1,168 @@
+//! Observer-effect tests for the telemetry layer: attaching telemetry
+//! must not change a run in any observable way, the counters it keeps
+//! must agree with the ground-truth trace, and the JSONL event stream
+//! must survive a serialize → parse round trip.
+//!
+//! Telemetry never touches the engine's RNG, scheduler, or state, so
+//! equality here is *bit-identical*, step for step — the same bar the
+//! incremental-vs-naive differential suite sets.
+
+use diners_core::MaliciousCrashDiners;
+use diners_sim::engine::{Engine, EnumerationMode};
+use diners_sim::fault::FaultPlan;
+use diners_sim::graph::Topology;
+use diners_sim::scheduler::{LeastRecentScheduler, RandomScheduler};
+use diners_sim::telemetry::{parse_jsonl, JsonlSink, ReplaySummary, RingSink, Telemetry};
+use diners_sim::workload::{AlwaysHungry, BernoulliWorkload};
+
+/// A workout that exercises every telemetry emission site: arbitrary
+/// initial state (convergence), a benign crash, a malicious crash
+/// (malicious pseudo-moves + fault events), and a transient burst.
+fn stress_plan() -> FaultPlan {
+    FaultPlan::new()
+        .from_arbitrary_state()
+        .crash(120, 1)
+        .malicious_crash(200, 3, 6)
+        .transient_local(320, 0)
+}
+
+fn build(
+    mode: EnumerationMode,
+    tele: Option<Telemetry>,
+    trace: bool,
+) -> Engine<MaliciousCrashDiners> {
+    let mut b = Engine::builder(MaliciousCrashDiners::paper(), Topology::ring(6))
+        .workload(BernoulliWorkload::new(5, 1, 3))
+        .scheduler(RandomScheduler::new(5))
+        .faults(stress_plan())
+        .seed(5)
+        .enumeration(mode)
+        .record_trace(trace);
+    if let Some(t) = tele {
+        b = b.telemetry(t);
+    }
+    b.build()
+}
+
+fn assert_lockstep(
+    mut a: Engine<MaliciousCrashDiners>,
+    mut b: Engine<MaliciousCrashDiners>,
+    steps: u64,
+    label: &str,
+) {
+    for s in 0..steps {
+        assert_eq!(a.step(), b.step(), "{label}: outcome diverged at step {s}");
+    }
+    assert_eq!(a.state().locals(), b.state().locals(), "{label}: locals");
+    assert_eq!(a.state().edges(), b.state().edges(), "{label}: edges");
+    assert_eq!(a.health(), b.health(), "{label}: health");
+    assert_eq!(a.metrics(), b.metrics(), "{label}: metrics");
+}
+
+#[test]
+fn telemetry_never_perturbs_the_run() {
+    // Same mode, with vs without telemetry.
+    for mode in [EnumerationMode::Naive, EnumerationMode::Incremental] {
+        assert_lockstep(
+            build(mode, None, false),
+            build(mode, Some(Telemetry::new()), false),
+            600,
+            &format!("{mode:?} bare vs telemetry"),
+        );
+    }
+    // Cross: naive + telemetry vs incremental + bare — telemetry must
+    // not break the modes' bit-identity either.
+    assert_lockstep(
+        build(EnumerationMode::Naive, Some(Telemetry::new()), false),
+        build(EnumerationMode::Incremental, None, false),
+        600,
+        "naive+telemetry vs incremental bare",
+    );
+    // A sink that records every event is still invisible to the run.
+    assert_lockstep(
+        build(EnumerationMode::Incremental, None, false),
+        build(
+            EnumerationMode::Incremental,
+            Some(Telemetry::with_sink(RingSink::new(1 << 16))),
+            false,
+        ),
+        600,
+        "incremental bare vs ring sink",
+    );
+}
+
+#[test]
+fn telemetry_counters_agree_with_the_trace() {
+    // The trace is the ground truth the rest of the suite trusts; the
+    // telemetry action counters must say exactly the same thing.
+    let mut engine = build(EnumerationMode::Incremental, Some(Telemetry::new()), true);
+    engine.run(800);
+    let counts = engine.trace().action_counts();
+    assert!(!counts.is_empty(), "stress plan fired no actions");
+    let tele = engine.take_telemetry().expect("telemetry attached");
+    let reg = tele.registry();
+    for (name, count) in counts {
+        assert_eq!(
+            reg.counter_value(&format!("engine.action.{name}")),
+            Some(count),
+            "counter for {name}"
+        );
+    }
+    // Fault injections were counted too (crash + malicious + transient).
+    assert_eq!(reg.counter_value("engine.faults"), Some(3));
+    assert!(reg.counter_value("engine.malicious_steps").unwrap_or(0) > 0);
+}
+
+#[test]
+fn lockstep_configs_under_quiet_fault_free_runs_too() {
+    // Fault-free + deterministic daemon: the cheapest, most common
+    // configuration must also be unperturbed.
+    let make = |tele: Option<Telemetry>| {
+        let mut b = Engine::builder(MaliciousCrashDiners::corrected(), Topology::line(5))
+            .workload(AlwaysHungry)
+            .scheduler(LeastRecentScheduler::new())
+            .seed(9)
+            .enumeration(EnumerationMode::Incremental);
+        if let Some(t) = tele {
+            b = b.telemetry(t);
+        }
+        b.build()
+    };
+    assert_lockstep(
+        make(None),
+        make(Some(Telemetry::new())),
+        400,
+        "fault-free least-recent",
+    );
+}
+
+#[test]
+fn jsonl_round_trip_matches_the_live_event_stream() {
+    // Run the identical configuration twice — once buffering events in
+    // a ring, once serializing to JSONL — and demand the parsed summary
+    // equal the live one. (The runs are identical because telemetry is
+    // observer-effect-free, which the lockstep tests above establish.)
+    let mut ring_engine = build(
+        EnumerationMode::Incremental,
+        Some(Telemetry::with_sink(RingSink::new(1 << 16))),
+        false,
+    );
+    ring_engine.run(800);
+    let ring_tele = ring_engine.take_telemetry().expect("telemetry attached");
+    let ring = ring_tele.sink_as::<RingSink>().expect("ring sink");
+    assert_eq!(ring.dropped(), 0, "ring cap too small for the run");
+    let live = ReplaySummary::of_events(ring.events());
+    assert!(live.events > 0, "no events recorded");
+
+    let mut jsonl_engine = build(
+        EnumerationMode::Incremental,
+        Some(Telemetry::with_sink(JsonlSink::new())),
+        false,
+    );
+    jsonl_engine.run(800);
+    let jsonl_tele = jsonl_engine.take_telemetry().expect("telemetry attached");
+    let sink = jsonl_tele.sink_as::<JsonlSink>().expect("jsonl sink");
+    assert_eq!(sink.count(), live.events, "event counts diverge");
+    let parsed = parse_jsonl(sink.text()).expect("well-formed JSONL");
+    assert_eq!(parsed, live, "round-tripped summary diverges");
+}

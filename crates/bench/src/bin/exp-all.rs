@@ -53,4 +53,27 @@ fn main() {
         "disturbance radius {} exceeds the paper's locality bound of 2",
         tele.max_radius
     );
+
+    let trace = diners_bench::experiments::tracing::run(quick);
+    println!("{}", trace.replay);
+    println!("{}", trace.blame);
+    println!("{}", trace.overhead);
+    std::fs::write("BENCH_trace.json", &trace.json).expect("write trace JSON");
+    println!("wrote BENCH_trace.json");
+    assert_eq!(
+        trace.replay_failures, 0,
+        "a recording failed to replay bit-identically"
+    );
+    assert!(trace.rooted_chains > 0, "locality check was vacuous");
+    assert!(
+        trace.max_rooted_distance <= 2,
+        "blame chain escaped the paper's locality bound of 2"
+    );
+    if !quick {
+        assert!(
+            trace.overhead_pct <= 5.0,
+            "flight recorder costs {:.2}% (budget 5%)",
+            trace.overhead_pct
+        );
+    }
 }

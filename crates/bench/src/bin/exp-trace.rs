@@ -1,0 +1,406 @@
+//! T12 tooling — flight recordings and causal traces from the command
+//! line.
+//!
+//! Subcommands:
+//!   record   run a live engine and write its recording as JSONL
+//!            (--algo toy|mca-paper|mca-corrected, --topo ring:8|line:9|
+//!             grid:3x3|star:8, --plan none|crash|malicious|chaos|arbitrary,
+//!             --steps N, --seed S, --out PATH)
+//!   verify FILE
+//!            parse a recording, check the byte round trip, replay it on
+//!            a fresh engine and verify every digest checkpoint
+//!   seek FILE STEP
+//!            replay to an intermediate step and dump the state
+//!   blame FILE [SPAN]
+//!            replay with causal tracing and walk the blame chain of a
+//!            span (default: the most recent span with a fault ancestor
+//!            within the 2-hop locality budget)
+//!   export FILE
+//!            replay and export the causal trace as Chrome trace_event
+//!            JSON (--chrome PATH) and the metric counters as Prometheus
+//!            text (--prom PATH)
+//!   bench    run the T12 harness (--quick, --out PATH; the default of
+//!            `exp-trace` with no arguments)
+//!
+//! `exp-trace --verify` is the CI smoke: it records a fresh chaos run to
+//! sample_recording.jsonl, re-reads it from disk and verifies the replay.
+
+use diners_core::MaliciousCrashDiners;
+use diners_sim::algorithm::DinerAlgorithm;
+use diners_sim::engine::{Engine, EnumerationMode};
+use diners_sim::fault::FaultPlan;
+use diners_sim::graph::Topology;
+use diners_sim::record::{state_digest, Recording, Replayer};
+use diners_sim::scheduler::RandomScheduler;
+use diners_sim::telemetry::Telemetry;
+use diners_sim::toy::ToyDiners;
+use diners_sim::tracing::{CausalTracer, Span, SpanId, SpanKind};
+use diners_sim::workload::AlwaysHungry;
+
+fn die(msg: &str) -> ! {
+    eprintln!("exp-trace: {msg}");
+    std::process::exit(2);
+}
+
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn opt_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    match opt(args, flag) {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| die(&format!("{flag} expects an integer, got {v:?}"))),
+        None => default,
+    }
+}
+
+/// Parse `family:size` topology specs (`grid:RxC` for grids).
+fn parse_topo(spec: &str) -> Topology {
+    let (family, size) = spec
+        .split_once(':')
+        .unwrap_or_else(|| die(&format!("--topo expects family:size, got {spec:?}")));
+    let parse = |s: &str| -> usize {
+        s.parse()
+            .unwrap_or_else(|_| die(&format!("bad topology size {s:?} in {spec:?}")))
+    };
+    match family {
+        "ring" => Topology::ring(parse(size)),
+        "line" => Topology::line(parse(size)),
+        "star" => Topology::star(parse(size)),
+        "grid" => {
+            let (r, c) = size
+                .split_once('x')
+                .unwrap_or_else(|| die(&format!("grid expects RxC, got {size:?}")));
+            Topology::grid(parse(r), parse(c))
+        }
+        other => die(&format!("unknown topology family {other:?}")),
+    }
+}
+
+/// Fault plans by name, scaled to the horizon so everything fires.
+fn parse_plan(name: &str, steps: u64) -> FaultPlan {
+    match name {
+        "none" => FaultPlan::none(),
+        "crash" => FaultPlan::new().crash(steps / 8, 1),
+        "malicious" => FaultPlan::new().malicious_crash(steps / 10, 2, 8),
+        "chaos" => FaultPlan::new()
+            .initially_dead(0)
+            .malicious_crash(steps / 12, 3, 4)
+            .transient_local(steps / 6, 2)
+            .transient_global(steps / 4)
+            .crash(steps / 3, 1),
+        "arbitrary" => FaultPlan::new().from_arbitrary_state(),
+        other => die(&format!(
+            "unknown plan {other:?} (expected none|crash|malicious|chaos|arbitrary)"
+        )),
+    }
+}
+
+fn load(path: &str) -> Recording {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let rec =
+        Recording::parse(&text).unwrap_or_else(|e| die(&format!("{path} is not a recording: {e}")));
+    if rec.workload != "always-hungry" {
+        die(&format!(
+            "recording used workload {:?}; this tool only replays always-hungry",
+            rec.workload
+        ));
+    }
+    rec
+}
+
+/// Resolve an algorithm label (as stored in a recording header) to a
+/// concrete algorithm value and run `$body` with it.
+macro_rules! with_algorithm {
+    ($label:expr, $alg:ident => $body:block) => {
+        match $label {
+            "toy" => {
+                let $alg = ToyDiners;
+                $body
+            }
+            "mca-paper" => {
+                let $alg = MaliciousCrashDiners::paper();
+                $body
+            }
+            "mca-corrected" => {
+                let $alg = MaliciousCrashDiners::corrected();
+                $body
+            }
+            other => die(&format!(
+                "unknown algorithm label {other:?} (expected toy|mca-paper|mca-corrected)"
+            )),
+        }
+    };
+}
+
+fn cmd_record(args: &[String]) {
+    let label = opt(args, "--algo").unwrap_or_else(|| "mca-corrected".into());
+    let topo = parse_topo(&opt(args, "--topo").unwrap_or_else(|| "ring:8".into()));
+    let steps = opt_u64(args, "--steps", 4_000);
+    let seed = opt_u64(args, "--seed", 42);
+    let plan = parse_plan(
+        &opt(args, "--plan").unwrap_or_else(|| "chaos".into()),
+        steps,
+    );
+    let out = opt(args, "--out").unwrap_or_else(|| "recording.jsonl".into());
+    with_algorithm!(label.as_str(), alg => {
+        let mut e = Engine::builder(alg, topo.clone())
+            .workload(AlwaysHungry)
+            .scheduler(RandomScheduler::new(seed))
+            .faults(plan)
+            .seed(seed)
+            .enumeration(EnumerationMode::Incremental)
+            .record_trace(true)
+            .flight_recorder(&label)
+            .build();
+        e.run(steps);
+        let rec = e.recording().expect("recorder attached");
+        std::fs::write(&out, rec.to_jsonl()).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+        println!(
+            "recorded {} steps of {} on {} (seed {}) -> {out}",
+            rec.steps, label, topo.name(), seed
+        );
+        println!(
+            "  {} decisions, {} faults, {} checkpoints, final digest {:#018x}",
+            rec.decisions.len(),
+            rec.fault_log.len(),
+            rec.checkpoints.len(),
+            rec.checkpoints.last().map(|c| c.digest).unwrap_or(0),
+        );
+    });
+}
+
+fn cmd_verify(path: &str) {
+    let rec = load(path);
+    let text = std::fs::read_to_string(path).expect("re-read verified above");
+    assert_eq!(
+        rec.to_jsonl(),
+        text,
+        "{path}: re-serialization drifted from the bytes on disk"
+    );
+    with_algorithm!(rec.algorithm.as_str(), alg => {
+        let (engine, verified) = Replayer::run(&rec, alg, AlwaysHungry)
+            .unwrap_or_else(|e| die(&format!("{path}: replay diverged: {e}")));
+        println!(
+            "replay OK: {} steps on {}, {} checkpoints verified, final digest {:#018x}",
+            engine.step_count(),
+            rec.topology_name,
+            verified,
+            state_digest(engine.state(), engine.health()),
+        );
+    });
+}
+
+fn cmd_seek(path: &str, step: u64) {
+    let rec = load(path);
+    if step > rec.steps {
+        die(&format!(
+            "recording has {} steps, cannot seek to {step}",
+            rec.steps
+        ));
+    }
+    with_algorithm!(rec.algorithm.as_str(), alg => {
+        let (builder, mut replayer) = Replayer::builder(&rec, alg, AlwaysHungry);
+        let mut engine = builder.build();
+        replayer
+            .advance(&mut engine, step)
+            .unwrap_or_else(|e| die(&format!("{path}: replay diverged: {e}")));
+        println!(
+            "state at step {} of {} ({}), digest {:#018x}:",
+            engine.step_count(),
+            rec.steps,
+            rec.topology_name,
+            state_digest(engine.state(), engine.health()),
+        );
+        for p in engine.topology().processes() {
+            println!(
+                "  {p}: {:?} {:?} local={:?}",
+                engine.health()[p.index()],
+                alg.phase(engine.state().local(p)),
+                engine.state().local(p),
+            );
+        }
+    });
+}
+
+fn span_label(s: &Span) -> String {
+    match s.kind {
+        SpanKind::Action { name, slot: None } => name.to_string(),
+        SpanKind::Action {
+            name,
+            slot: Some(q),
+        } => format!("{name}[{q}]"),
+        SpanKind::Malicious => "malicious-step".to_string(),
+        SpanKind::Fault(k) => format!("fault:{k}"),
+    }
+}
+
+/// Default blame query: the most recent span with a fault ancestor
+/// within the locality budget, else the most recent span outright.
+fn default_span(tracer: &CausalTracer) -> Option<SpanId> {
+    tracer
+        .spans()
+        .iter()
+        .rev()
+        .find(|s| !s.kind.is_fault() && tracer.blame_within(s.id, 2).is_some())
+        .map(|s| s.id)
+        .or_else(|| tracer.spans().last().map(|s| s.id))
+}
+
+fn cmd_blame(path: &str, span: Option<u32>) {
+    let rec = load(path);
+    with_algorithm!(rec.algorithm.as_str(), alg => {
+        let (builder, mut replayer) = Replayer::builder(&rec, alg, AlwaysHungry);
+        let mut engine = builder.causal_tracing(true).build();
+        replayer
+            .advance(&mut engine, rec.steps)
+            .unwrap_or_else(|e| die(&format!("{path}: replay diverged: {e}")));
+        let tracer = engine.take_tracer().expect("tracing enabled");
+        let id = match span {
+            Some(raw) => {
+                if raw as usize >= tracer.spans().len() {
+                    die(&format!("span {raw} out of range (trace has {} spans)", tracer.spans().len()));
+                }
+                SpanId(raw)
+            }
+            None => default_span(&tracer)
+                .unwrap_or_else(|| die("trace is empty — nothing to blame")),
+        };
+        let s = tracer.span(id);
+        println!("span {}: {} by {} at step {}", id.0, span_label(s), s.pid, s.step);
+        match tracer.blame_within(id, 2) {
+            Some(chain) => {
+                let root = tracer.span(chain.root());
+                println!(
+                    "  caused by {} of {} at step {}, {} hop{} away",
+                    span_label(root),
+                    root.pid,
+                    root.step,
+                    chain.hops(),
+                    if chain.hops() == 1 { "" } else { "s" },
+                );
+                for (i, &hop) in chain.path.iter().enumerate() {
+                    let h = tracer.span(hop);
+                    println!(
+                        "  {} [{}] {} {} @ step {}",
+                        if i == 0 { "chain:" } else { "    <-" },
+                        hop.0,
+                        span_label(h),
+                        h.pid,
+                        h.step,
+                    );
+                }
+            }
+            None => match tracer.blame(id) {
+                Some(chain) => {
+                    let root = tracer.span(chain.root());
+                    println!(
+                        "  no fault within the 2-hop locality budget; nearest is {} of {} at step {}, {} hops away",
+                        span_label(root), root.pid, root.step, chain.hops(),
+                    );
+                }
+                None => println!("  no fault ancestor: this span is causally independent of every fault"),
+            },
+        }
+    });
+}
+
+fn cmd_export(path: &str, args: &[String]) {
+    let rec = load(path);
+    let chrome = opt(args, "--chrome").unwrap_or_else(|| "trace_chrome.json".into());
+    let prom = opt(args, "--prom").unwrap_or_else(|| "metrics.prom".into());
+    with_algorithm!(rec.algorithm.as_str(), alg => {
+        let (builder, mut replayer) = Replayer::builder(&rec, alg, AlwaysHungry);
+        let mut engine = builder
+            .causal_tracing(true)
+            .telemetry(Telemetry::new())
+            .build();
+        replayer
+            .advance(&mut engine, rec.steps)
+            .unwrap_or_else(|e| die(&format!("{path}: replay diverged: {e}")));
+        let tracer = engine.take_tracer().expect("tracing enabled");
+        std::fs::write(&chrome, tracer.to_chrome_trace())
+            .unwrap_or_else(|e| die(&format!("write {chrome}: {e}")));
+        println!("wrote {chrome} ({} spans)", tracer.spans().len());
+        let registry = engine.telemetry().expect("telemetry attached").registry();
+        std::fs::write(&prom, registry.to_prometheus())
+            .unwrap_or_else(|e| die(&format!("write {prom}: {e}")));
+        println!("wrote {prom}");
+    });
+}
+
+fn cmd_bench(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_trace.json".into());
+    let report = diners_bench::experiments::tracing::run(quick);
+    println!("{}", report.replay);
+    println!("{}", report.blame);
+    println!("{}", report.overhead);
+    std::fs::write(&out, &report.json).expect("write trace JSON");
+    println!("wrote {out}");
+    assert_eq!(
+        report.replay_failures, 0,
+        "a recording failed to replay bit-identically"
+    );
+    assert!(report.rooted_chains > 0, "locality check was vacuous");
+    assert!(
+        report.max_rooted_distance <= 2,
+        "blame chain escaped the paper's locality bound of 2"
+    );
+    if !quick {
+        assert!(
+            report.overhead_pct <= 5.0,
+            "flight recorder costs {:.2}% (budget 5%)",
+            report.overhead_pct
+        );
+    }
+}
+
+/// The CI smoke: record a fresh chaos run, re-read it from disk, verify.
+fn cmd_smoke(args: &[String]) {
+    let out = opt(args, "--out").unwrap_or_else(|| "sample_recording.jsonl".into());
+    let record_args = vec![
+        "--plan".to_string(),
+        "chaos".to_string(),
+        "--out".to_string(),
+        out.clone(),
+    ];
+    cmd_record(&record_args);
+    cmd_verify(&out);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--verify") {
+        cmd_smoke(&args);
+        return;
+    }
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("verify") => match args.get(1) {
+            Some(path) => cmd_verify(path),
+            None => die("verify expects a recording path"),
+        },
+        Some("seek") => match (args.get(1), args.get(2).and_then(|s| s.parse().ok())) {
+            (Some(path), Some(step)) => cmd_seek(path, step),
+            _ => die("seek expects a recording path and a step number"),
+        },
+        Some("blame") => match args.get(1) {
+            Some(path) => cmd_blame(path, args.get(2).and_then(|s| s.parse().ok())),
+            None => die("blame expects a recording path and optionally a span id"),
+        },
+        Some("export") => match args.get(1) {
+            Some(path) => cmd_export(path, &args[2..]),
+            None => die("export expects a recording path"),
+        },
+        Some("bench") => cmd_bench(&args[1..]),
+        None => cmd_bench(&args),
+        Some(other) if other.starts_with("--") => cmd_bench(&args),
+        Some(other) => die(&format!("unknown subcommand {other:?}")),
+    }
+}

@@ -15,3 +15,4 @@ pub mod perf;
 pub mod stabilization;
 pub mod telemetry;
 pub mod throughput;
+pub mod tracing;

@@ -17,6 +17,7 @@
 //! | T9   | chaos soak — randomized link faults     | [`experiments::chaos`] |
 //! | T10  | substrate perf — engine & explorer      | [`experiments::perf`] |
 //! | T11  | observability — telemetry & disturbance | [`experiments::telemetry`] |
+//! | T12  | causal tracing & deterministic replay   | [`experiments::tracing`] |
 //!
 //! Run them all with `cargo run -p diners-bench --release --bin exp-all`,
 //! or individually via the `exp-*` binaries.

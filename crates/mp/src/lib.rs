@@ -38,9 +38,11 @@ pub mod message;
 pub mod node;
 pub mod runtime;
 pub mod simnet;
+pub mod vclock;
 
 pub use adversary::{AdversaryPlan, LinkAdversary, NetStats};
 pub use message::LinkMsg;
 pub use node::{Node, NodeConfig, NodeEvent};
 pub use runtime::ThreadRuntime;
 pub use simnet::SimNet;
+pub use vclock::{NetOp, NetSpan, NetTracer, Stamp, VectorClock};

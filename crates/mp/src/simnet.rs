@@ -24,6 +24,7 @@ use diners_sim::Phase;
 use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary, NetStats};
 use crate::message::LinkMsg;
 use crate::node::{Node, NodeConfig, NodeEvent};
+use crate::vclock::{NetTracer, Stamp};
 
 /// Bound on queued messages per link direction. Retransmission pile-up
 /// and duplication storms beyond this are shed (the protocol tolerates
@@ -33,10 +34,18 @@ const QUEUE_CAP: usize = 8;
 
 /// A message in flight: queued on a link, deliverable once the network
 /// step clock reaches `ready_at` (the adversary's bounded delay).
-#[derive(Clone, Copy, Debug)]
+///
+/// The causal stamp rides the *queued copy* rather than the wire struct
+/// (`LinkMsg` stays `Copy` for the thread runtime): since every path a
+/// message takes goes through a queue, stamping here is observationally
+/// equivalent to stamping the message itself, and duplicated copies get
+/// the distinct stamps they need.
+#[derive(Clone, Debug)]
 struct Queued {
     msg: LinkMsg,
     ready_at: u64,
+    /// Vector-clock stamp (None when tracing is off).
+    stamp: Option<Stamp>,
 }
 
 /// A deterministic run of the message-passing diner over a topology.
@@ -61,6 +70,9 @@ pub struct SimNet {
     net_stats: NetStats,
     /// Deliveries discarded because a link queue was full.
     shed: u64,
+    /// Network causal tracer (None = disabled; observer-effect-free — it
+    /// never touches `rng`, the queues' contents or the nodes).
+    tracer: Option<Box<NetTracer>>,
 }
 
 impl SimNet {
@@ -116,8 +128,29 @@ impl SimNet {
             last_violation: None,
             net_stats: NetStats::default(),
             shed: 0,
+            tracer: None,
             topo,
         }
+    }
+
+    /// Turn on vector-clock causal tracing (see [`crate::vclock`]).
+    /// Send/recv/retransmit/resync events become spans; tracing never
+    /// consumes network randomness, so a traced run is step-identical to
+    /// an untraced one.
+    pub fn enable_tracing(&mut self) {
+        if self.tracer.is_none() {
+            self.tracer = Some(Box::new(NetTracer::new(self.topo.len())));
+        }
+    }
+
+    /// The attached network tracer, if any.
+    pub fn tracer(&self) -> Option<&NetTracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Detach and return the network tracer.
+    pub fn take_tracer(&mut self) -> Option<NetTracer> {
+        self.tracer.take().map(|b| *b)
     }
 
     /// Adversary verdicts observed so far (sends, drops, duplicates,
@@ -323,9 +356,13 @@ impl SimNet {
                     .iter()
                     .position(|m| m.ready_at <= step)
                     .expect("queue has a ready message");
-                let msg = q.remove(idx).expect("index in bounds").msg;
+                let queued = q.remove(idx).expect("index in bounds");
+                let msg = queued.msg;
                 let (from, to) = self.queue_endpoints(qi);
                 match self.health[to.index()] {
+                    // Dead/byzantine receivers record no recv span: the
+                    // copy's causal line ends here (a byzantine node's
+                    // outputs are arbitrary, not caused by its inputs).
                     Health::Dead => {} // dropped on the floor
                     Health::Byzantine { .. } => {
                         // A byzantine node's receive turn is also an
@@ -333,7 +370,23 @@ impl SimNet {
                         self.byzantine_turn(to);
                     }
                     Health::Live => {
+                        if let (Some(tr), Some(stamp)) = (self.tracer.as_deref_mut(), &queued.stamp)
+                        {
+                            tr.on_recv(step, to, from, stamp);
+                        }
+                        let resyncs_before = self
+                            .tracer
+                            .is_some()
+                            .then(|| self.nodes[to.index()].resyncs());
                         let out = self.nodes[to.index()].handle(NodeEvent::Deliver { from, msg });
+                        if let Some(before) = resyncs_before {
+                            let delta = self.nodes[to.index()].resyncs() - before;
+                            if delta > 0 {
+                                if let Some(tr) = self.tracer.as_deref_mut() {
+                                    tr.on_resync(step, to, delta);
+                                }
+                            }
+                        }
                         for (peer, m) in out {
                             self.enqueue(to, peer, m);
                         }
@@ -344,7 +397,19 @@ impl SimNet {
                 Health::Dead => {}
                 Health::Byzantine { .. } => self.byzantine_turn(p),
                 Health::Live => {
+                    let retransmits_before = self
+                        .tracer
+                        .is_some()
+                        .then(|| self.nodes[p.index()].retransmits());
                     let out = self.nodes[p.index()].handle(NodeEvent::Tick);
+                    if let Some(before) = retransmits_before {
+                        let delta = self.nodes[p.index()].retransmits() - before;
+                        if delta > 0 {
+                            if let Some(tr) = self.tracer.as_deref_mut() {
+                                tr.on_retransmit(self.step, p, delta);
+                            }
+                        }
+                    }
                     for (peer, m) in out {
                         self.enqueue(p, peer, m);
                     }
@@ -389,17 +454,25 @@ impl SimNet {
             .unwrap_or_else(|| panic!("{from} and {to} are not neighbors"));
         let (lo, _) = self.topo.endpoints(e);
         let dir = usize::from(from != lo);
-        let q = &mut self.queues[e.index() * 2 + dir];
+        let qi = e.index() * 2 + dir;
         for d in &deliveries {
-            if q.len() >= QUEUE_CAP {
+            if self.queues[qi].len() >= QUEUE_CAP {
                 // Shed the pile-up; retransmission recovers.
                 self.shed += 1;
                 continue;
             }
+            // Stamp each surviving copy (duplicates get distinct stamps;
+            // adversary-dropped and shed copies never get one).
+            let stamp = self
+                .tracer
+                .as_deref_mut()
+                .map(|tr| tr.on_send(self.step, from, to));
             let queued = Queued {
                 msg: d.msg,
                 ready_at: self.step + d.delay,
+                stamp,
             };
+            let q = &mut self.queues[qi];
             match d.reorder_key {
                 // Overtake: splice in ahead of some earlier traffic.
                 Some(key) => {
@@ -580,6 +653,64 @@ mod tests {
     fn excessive_loss_rate_is_rejected() {
         let mut net = SimNet::new(Topology::line(2), FaultPlan::none(), 0);
         net.set_loss_per_mille(950);
+    }
+
+    #[test]
+    fn tracing_is_observer_effect_free_and_links_causality() {
+        // Identical runs with and without the tracer, under an adversary
+        // that exercises loss, duplication, delay and reorder.
+        let plan = || {
+            AdversaryPlan::new()
+                .loss(150)
+                .duplication(150)
+                .delay(150, 4)
+                .reorder(150)
+        };
+        let build = || {
+            SimNet::with_adversary(
+                Topology::ring(4),
+                FaultPlan::new().malicious_crash(4_000, 1, 6),
+                plan(),
+                23,
+            )
+        };
+        let mut plain = build();
+        let mut traced = build();
+        traced.enable_tracing();
+        plain.run(30_000);
+        traced.run(30_000);
+        for p in plain.topology().processes() {
+            assert_eq!(plain.meals_of(p), traced.meals_of(p), "{p} diverged");
+            assert_eq!(plain.phase_of(p), traced.phase_of(p), "{p} diverged");
+        }
+        assert_eq!(plain.net_stats(), traced.net_stats());
+        assert_eq!(plain.violation_steps(), traced.violation_steps());
+
+        let tr = traced.tracer().expect("tracer attached");
+        let spans = tr.spans();
+        assert!(!spans.is_empty());
+        let recvs = spans
+            .iter()
+            .filter(|s| matches!(s.op, crate::vclock::NetOp::Recv));
+        let mut checked = 0;
+        for r in recvs {
+            // Every delivery descends from its send span, and the send
+            // happened causally before it — across loss/dup/reorder.
+            let parent = r.parent.expect("recv span has a send parent");
+            let s = &spans[parent as usize];
+            assert!(matches!(s.op, crate::vclock::NetOp::Send));
+            assert_eq!((s.node, s.peer), (r.peer, r.node));
+            assert!(tr.happens_before(parent, r.id), "send !< recv");
+            checked += 1;
+        }
+        assert!(checked > 100, "only {checked} deliveries traced");
+        // The lossy plan forces retransmissions; they must be spanned.
+        assert!(
+            spans
+                .iter()
+                .any(|s| matches!(s.op, crate::vclock::NetOp::Retransmit)),
+            "no retransmit spans despite loss"
+        );
     }
 
     #[test]

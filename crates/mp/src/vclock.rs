@@ -1,0 +1,379 @@
+//! Per-node vector clocks and the network-side causal tracer.
+//!
+//! The shared-memory tracer (`diners_sim::tracing`) derives causality
+//! from variable footprints; over a network that structure dissolves —
+//! messages are lost, duplicated and reordered, so the only causality
+//! that survives is the one carried *on the messages themselves*. Each
+//! node keeps a [`VectorClock`]; every queued message copy is stamped
+//! with the sender's clock and send-span id ([`Stamp`]), and every
+//! delivery merges the stamp into the receiver's clock and records a
+//! recv span whose parent is the send span. Duplicated copies carry
+//! distinct stamps, lost copies take their stamps with them, and
+//! reordered copies stay correctly linked — cross-node happens-before
+//! survives the full adversary vocabulary.
+
+use diners_sim::graph::ProcessId;
+
+/// A classic vector clock: one monotone counter per node, merged
+/// pointwise on message receipt.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    v: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock for an `n`-node system.
+    pub fn new(n: usize) -> Self {
+        VectorClock { v: vec![0; n] }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Whether the clock has no components.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// The component of node `p`.
+    pub fn get(&self, p: ProcessId) -> u64 {
+        self.v[p.index()]
+    }
+
+    /// Advance node `p`'s own component (a local event at `p`).
+    pub fn tick(&mut self, p: ProcessId) {
+        self.v[p.index()] += 1;
+    }
+
+    /// Pointwise maximum with `other` (message receipt).
+    pub fn merge(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.v.len(), other.v.len());
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self` is pointwise ≥ `other`: every event `other` has
+    /// seen, `self` has seen too.
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.v.len(), other.v.len());
+        self.v.iter().zip(&other.v).all(|(a, b)| a >= b)
+    }
+
+    /// Whether neither clock dominates the other — the events are
+    /// causally concurrent.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+}
+
+/// The causal stamp riding one queued message copy: the sender's clock
+/// at send time plus the send span's id, so the eventual delivery links
+/// back to exactly the send that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stamp {
+    /// Id of the send span in the tracer's arena.
+    pub span: u32,
+    /// The sender's clock immediately after the send tick.
+    pub clock: VectorClock,
+}
+
+/// What kind of network event a span records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetOp {
+    /// A message copy entered a link queue.
+    Send,
+    /// A message copy was delivered to a live node.
+    Recv,
+    /// A node's retransmission timer fired (the liveness recovery path
+    /// after loss).
+    Retransmit,
+    /// A node detected a stale handshake run and resynced (the recovery
+    /// path after reordering/aliasing).
+    Resync,
+}
+
+/// One node of the network causal trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetSpan {
+    /// Arena index.
+    pub id: u32,
+    /// Network step at which the event occurred.
+    pub step: u64,
+    /// The acting node.
+    pub node: ProcessId,
+    /// The other endpoint (the receiver for sends, the sender for
+    /// receives; the node itself for retransmit/resync events).
+    pub peer: ProcessId,
+    /// Event kind.
+    pub op: NetOp,
+    /// The acting node's clock immediately after this event.
+    pub clock: VectorClock,
+    /// The send span this delivery descends from (recv spans only).
+    pub parent: Option<u32>,
+}
+
+/// Vector clocks plus the span arena for one [`crate::SimNet`] run.
+#[derive(Clone, Debug)]
+pub struct NetTracer {
+    clocks: Vec<VectorClock>,
+    spans: Vec<NetSpan>,
+}
+
+impl NetTracer {
+    /// A fresh tracer for an `n`-node network.
+    pub fn new(n: usize) -> Self {
+        NetTracer {
+            clocks: (0..n).map(|_| VectorClock::new(n)).collect(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// All spans, in execution order.
+    pub fn spans(&self) -> &[NetSpan] {
+        &self.spans
+    }
+
+    /// Node `p`'s current clock.
+    pub fn clock(&self, p: ProcessId) -> &VectorClock {
+        &self.clocks[p.index()]
+    }
+
+    fn push(&mut self, mut span: NetSpan) -> u32 {
+        let id = self.spans.len() as u32;
+        span.id = id;
+        self.spans.push(span);
+        id
+    }
+
+    /// Record a message copy entering the link `from → to`; returns the
+    /// stamp to ride on that copy. Each copy (duplicates included) gets
+    /// its own tick and span.
+    pub fn on_send(&mut self, step: u64, from: ProcessId, to: ProcessId) -> Stamp {
+        self.clocks[from.index()].tick(from);
+        let clock = self.clocks[from.index()].clone();
+        let span = self.push(NetSpan {
+            id: 0,
+            step,
+            node: from,
+            peer: to,
+            op: NetOp::Send,
+            clock: clock.clone(),
+            parent: None,
+        });
+        Stamp { span, clock }
+    }
+
+    /// Record the delivery of a stamped copy to live node `at`.
+    pub fn on_recv(&mut self, step: u64, at: ProcessId, from: ProcessId, stamp: &Stamp) {
+        self.clocks[at.index()].merge(&stamp.clock);
+        self.clocks[at.index()].tick(at);
+        let clock = self.clocks[at.index()].clone();
+        self.push(NetSpan {
+            id: 0,
+            step,
+            node: at,
+            peer: from,
+            op: NetOp::Recv,
+            clock,
+            parent: Some(stamp.span),
+        });
+    }
+
+    /// Record `count` retransmission-timer firings at `node` (observed
+    /// as a counter delta around a tick).
+    pub fn on_retransmit(&mut self, step: u64, node: ProcessId, count: u64) {
+        for _ in 0..count {
+            self.clocks[node.index()].tick(node);
+            let clock = self.clocks[node.index()].clone();
+            self.push(NetSpan {
+                id: 0,
+                step,
+                node,
+                peer: node,
+                op: NetOp::Retransmit,
+                clock,
+                parent: None,
+            });
+        }
+    }
+
+    /// Record `count` stale-run resyncs at `node`.
+    pub fn on_resync(&mut self, step: u64, node: ProcessId, count: u64) {
+        for _ in 0..count {
+            self.clocks[node.index()].tick(node);
+            let clock = self.clocks[node.index()].clone();
+            self.push(NetSpan {
+                id: 0,
+                step,
+                node,
+                peer: node,
+                op: NetOp::Resync,
+                clock,
+                parent: None,
+            });
+        }
+    }
+
+    /// Whether span `a` happened before span `b` in the causal order
+    /// (strict: `a`'s clock is dominated by `b`'s and they differ).
+    pub fn happens_before(&self, a: u32, b: u32) -> bool {
+        let (ca, cb) = (&self.spans[a as usize].clock, &self.spans[b as usize].clock);
+        cb.dominates(ca) && ca != cb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    /// Deterministic pool of clocks with varied, partially ordered and
+    /// concurrent histories (no RNG needed — the laws are universally
+    /// quantified, so a structured sweep is the stronger test).
+    fn clock_pool(n: usize) -> Vec<VectorClock> {
+        let mut pool = vec![VectorClock::new(n)];
+        for i in 0..n {
+            let mut c = VectorClock::new(n);
+            for _ in 0..=i {
+                c.tick(p(i));
+            }
+            pool.push(c);
+        }
+        for i in 0..n {
+            let mut c = pool[1 + i].clone();
+            c.merge(&pool[1 + (i + 1) % n]);
+            c.tick(p(i));
+            pool.push(c);
+        }
+        pool
+    }
+
+    fn merged(a: &VectorClock, b: &VectorClock) -> VectorClock {
+        let mut m = a.clone();
+        m.merge(b);
+        m
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        for c in clock_pool(4) {
+            assert_eq!(merged(&c, &c), c, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let pool = clock_pool(4);
+        for a in &pool {
+            for b in &pool {
+                assert_eq!(merged(a, b), merged(b, a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let pool = clock_pool(3);
+        for a in &pool {
+            for b in &pool {
+                for c in &pool {
+                    assert_eq!(merged(&merged(a, b), c), merged(a, &merged(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_monotone() {
+        // The merge dominates both inputs, and merging never shrinks a
+        // clock: if a dominates a', then merge(a,b) dominates merge(a',b).
+        let pool = clock_pool(4);
+        for a in &pool {
+            for b in &pool {
+                let m = merged(a, b);
+                assert!(m.dominates(a) && m.dominates(b), "{a:?} {b:?}");
+                for a2 in &pool {
+                    if a.dominates(a2) {
+                        assert!(merged(a, b).dominates(&merged(a2, b)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tick_strictly_advances() {
+        let mut c = VectorClock::new(3);
+        let before = c.clone();
+        c.tick(p(1));
+        assert!(c.dominates(&before) && c != before);
+        assert_eq!(c.get(p(1)), 1);
+        assert_eq!(c.get(p(0)), 0);
+    }
+
+    #[test]
+    fn concurrency_is_detected() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.tick(p(0));
+        b.tick(p(1));
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+        // After b learns of a, they are ordered.
+        b.merge(&a);
+        assert!(b.dominates(&a));
+        assert!(!a.concurrent_with(&b) || !b.dominates(&a));
+    }
+
+    #[test]
+    fn tracer_links_recv_to_its_send() {
+        let mut t = NetTracer::new(3);
+        let s1 = t.on_send(0, p(0), p(1));
+        let s2 = t.on_send(1, p(0), p(1)); // a duplicate: distinct stamp
+        assert_ne!(s1.span, s2.span);
+        assert!(s2.clock.dominates(&s1.clock));
+
+        // Deliver out of order: the second copy first.
+        t.on_recv(2, p(1), p(0), &s2);
+        t.on_recv(3, p(1), p(0), &s1);
+        let spans = t.spans();
+        assert_eq!(spans[2].parent, Some(s2.span));
+        assert_eq!(spans[3].parent, Some(s1.span));
+        // Both sends happened before both receives, in clock order too.
+        assert!(t.happens_before(s1.span, spans[2].id));
+        assert!(t.happens_before(s2.span, spans[3].id));
+        // p2 never saw anything: its clock is still zero and concurrent.
+        assert_eq!(t.clock(p(2)), &VectorClock::new(3));
+    }
+
+    #[test]
+    fn tracer_crosses_hops() {
+        // 0 → 1 → 2: the second-hop recv must causally follow the
+        // first-hop send.
+        let mut t = NetTracer::new(3);
+        let s01 = t.on_send(0, p(0), p(1));
+        t.on_recv(1, p(1), p(0), &s01);
+        let s12 = t.on_send(2, p(1), p(2));
+        t.on_recv(3, p(2), p(1), &s12);
+        let last = t.spans().last().unwrap().id;
+        assert!(t.happens_before(s01.span, last));
+    }
+
+    #[test]
+    fn retransmit_and_resync_spans_advance_the_clock() {
+        let mut t = NetTracer::new(2);
+        t.on_retransmit(5, p(0), 2);
+        t.on_resync(6, p(1), 1);
+        assert_eq!(t.spans().len(), 3);
+        assert_eq!(t.clock(p(0)).get(p(0)), 2);
+        assert_eq!(t.clock(p(1)).get(p(1)), 1);
+        assert!(matches!(t.spans()[0].op, NetOp::Retransmit));
+        assert!(matches!(t.spans()[2].op, NetOp::Resync));
+    }
+}

@@ -37,6 +37,7 @@
 //! seed × scheduler × fault-plan sweeps.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 
 use rand::rngs::StdRng;
 
@@ -45,11 +46,29 @@ use crate::fault::{FaultKind, FaultPlan, Health};
 use crate::graph::{ProcessId, Topology};
 use crate::metrics::DinerMetrics;
 use crate::predicate::{Snapshot, StatePredicate};
+use crate::record::{self, Checkpoint, FlightRecorder, Recording, StepDecision, FORMAT_VERSION};
 use crate::rng;
 use crate::scheduler::{EnabledMove, LeastRecentScheduler, Scheduler};
 use crate::telemetry::{CounterId, HistogramId, Telemetry, TelemetryKind};
 use crate::trace::{Event, EventKind, Trace};
+use crate::tracing::{CausalTracer, SpanKind};
 use crate::workload::{AlwaysHungry, Workload};
+
+/// Monomorphized [`record::state_digest`] captured as a plain function
+/// pointer when the flight recorder is attached, so the `Hash` bounds
+/// live only on the attach method — the engine itself stays bound-free.
+type DigestFn<A> = fn(&SystemState<A>, &[Health]) -> u64;
+
+/// Flight-recorder state boxed inside the engine (None = disabled; every
+/// instrumented site is one null check, mirroring `TelemetryState`).
+struct RecorderState<A: DinerAlgorithm> {
+    rec: FlightRecorder,
+    /// Algorithm label written to the recording header.
+    label: String,
+    /// Checkpoint cadence in steps.
+    every: u64,
+    digest: DigestFn<A>,
+}
 
 /// Telemetry plus the metric handles the engine's hot path uses, prepared
 /// once at build time so instrumented sites pay an index, not a lookup.
@@ -247,6 +266,8 @@ pub struct EngineBuilder<A: DinerAlgorithm> {
     initial_state: Option<SystemState<A>>,
     mode: EnumerationMode,
     telemetry: Option<Telemetry>,
+    recorder: Option<(String, u64, DigestFn<A>)>,
+    tracing: bool,
 }
 
 impl<A: DinerAlgorithm> EngineBuilder<A> {
@@ -314,6 +335,47 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
         self
     }
 
+    /// Attach a flight recorder (default: none), checkpointing every 256
+    /// steps. `algorithm_label` names the algorithm in the recording
+    /// header so replay tooling can rebuild it. Like telemetry, the
+    /// recorder only observes — it never touches the RNG, scheduler or
+    /// state — so a recorded run is step-identical to a bare one; read
+    /// the result back with [`Engine::recording`].
+    #[must_use]
+    pub fn flight_recorder(self, algorithm_label: &str) -> Self
+    where
+        A::Local: Hash,
+        A::Edge: Hash,
+    {
+        self.flight_recorder_every(algorithm_label, 256)
+    }
+
+    /// [`EngineBuilder::flight_recorder`] with an explicit checkpoint
+    /// cadence (`every` steps between state digests; min 1).
+    #[must_use]
+    pub fn flight_recorder_every(mut self, algorithm_label: &str, every: u64) -> Self
+    where
+        A::Local: Hash,
+        A::Edge: Hash,
+    {
+        self.recorder = Some((
+            algorithm_label.to_string(),
+            every.max(1),
+            record::state_digest::<A>,
+        ));
+        self
+    }
+
+    /// Record a span-based causal trace (default off); see
+    /// [`crate::tracing`]. Observer-effect-free like telemetry and the
+    /// flight recorder; read back with [`Engine::tracer`] or
+    /// [`Engine::take_tracer`].
+    #[must_use]
+    pub fn causal_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
     /// Construct the engine.
     pub fn build(self) -> Engine<A> {
         let mut rng = rng::rng(rng::subseed(self.seed, 0xE61E));
@@ -338,6 +400,17 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
         let telemetry = self
             .telemetry
             .map(|tele| TelemetryState::prepare(tele, &self.alg));
+        let recorder = self.recorder.map(|(label, every, digest)| {
+            Box::new(RecorderState {
+                rec: FlightRecorder::new(),
+                label,
+                every,
+                digest,
+            })
+        });
+        let tracer = self
+            .tracing
+            .then(|| Box::new(CausalTracer::new(&self.topo)));
         let mut engine = Engine {
             metrics: DinerMetrics::new(n),
             last_phase: (0..n)
@@ -350,6 +423,7 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
             workload: self.workload,
             sched: self.sched,
             faults: self.faults,
+            seed: self.seed,
             step: 0,
             executed: 0,
             quiescent: 0,
@@ -369,10 +443,18 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
             annotated: Vec::new(),
             scratch: Vec::new(),
             telemetry,
+            recorder,
+            tracer,
         };
         let (total, live) = engine.eating_pairs_scan();
         engine.eat_pairs_total = total;
         engine.eat_pairs_live = live;
+        // Anchor the recording: a digest of the state before step 0, so
+        // replay divergence in the initial state is caught immediately.
+        if let Some(rs) = engine.recorder.as_deref_mut() {
+            let d = (rs.digest)(&engine.state, &engine.health);
+            rs.rec.push_checkpoint(0, d);
+        }
         engine
     }
 }
@@ -417,8 +499,14 @@ pub struct Engine<A: DinerAlgorithm> {
     /// Scratch buffers reused across steps to avoid per-step allocation.
     annotated: Vec<EnabledMove>,
     scratch: Vec<Move>,
+    /// Engine seed, kept for the recording header.
+    seed: u64,
     /// Observability (None = disabled; every site is one null check).
     telemetry: Option<Box<TelemetryState>>,
+    /// Flight recorder (None = disabled; same pattern as telemetry).
+    recorder: Option<Box<RecorderState<A>>>,
+    /// Causal tracer (None = disabled; same pattern as telemetry).
+    tracer: Option<Box<CausalTracer>>,
 }
 
 impl<A: DinerAlgorithm> Engine<A> {
@@ -435,6 +523,8 @@ impl<A: DinerAlgorithm> Engine<A> {
             initial_state: None,
             mode: EnumerationMode::default(),
             telemetry: None,
+            recorder: None,
+            tracing: false,
         }
     }
 
@@ -452,6 +542,52 @@ impl<A: DinerAlgorithm> Engine<A> {
     /// into a report while the engine is dropped).
     pub fn take_telemetry(&mut self) -> Option<Telemetry> {
         self.telemetry.take().map(|ts| ts.tele)
+    }
+
+    /// The attached causal tracer, if any.
+    pub fn tracer(&self) -> Option<&CausalTracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Detach and return the causal tracer.
+    pub fn take_tracer(&mut self) -> Option<CausalTracer> {
+        self.tracer.take().map(|b| *b)
+    }
+
+    /// Snapshot the flight recorder into a serializable [`Recording`]
+    /// (None if no recorder is attached). A final checkpoint digesting
+    /// the current state is appended if the cadence did not land on it,
+    /// so replay always verifies the end state.
+    pub fn recording(&self) -> Option<Recording> {
+        let rs = self.recorder.as_deref()?;
+        let mut checkpoints = rs.rec.checkpoints().to_vec();
+        if checkpoints.last().map(|c| c.step) != Some(self.step) {
+            checkpoints.push(Checkpoint {
+                step: self.step,
+                digest: (rs.digest)(&self.state, &self.health),
+            });
+        }
+        Some(Recording {
+            version: FORMAT_VERSION,
+            algorithm: rs.label.clone(),
+            scheduler: self.sched.name().to_string(),
+            workload: self.workload.name().to_string(),
+            mode: self.mode,
+            seed: self.seed,
+            topology_name: self.topo.name().to_string(),
+            n: self.topo.len(),
+            edges: self
+                .topo
+                .edges()
+                .iter()
+                .map(|&(a, b)| (a.index(), b.index()))
+                .collect(),
+            faults: self.faults.clone(),
+            steps: self.step,
+            decisions: rs.rec.decisions().to_vec(),
+            fault_log: rs.rec.faults().to_vec(),
+            checkpoints,
+        })
     }
 
     /// The algorithm under simulation.
@@ -595,10 +731,24 @@ impl<A: DinerAlgorithm> Engine<A> {
 
     /// Execute one step of the computation; see the module docs.
     pub fn step(&mut self) -> StepOutcome {
-        match self.mode {
+        let out = match self.mode {
             EnumerationMode::Naive => self.step_naive(),
             EnumerationMode::Incremental => self.step_incremental(),
+        };
+        // Flight recorder: executed moves are pushed inside
+        // `execute_move` (which knows the `needs` bit); quiescent steps
+        // and cadenced checkpoints are recorded here, after the step
+        // counter advanced.
+        if let Some(rs) = self.recorder.as_deref_mut() {
+            if out == StepOutcome::Quiescent {
+                rs.rec.push_decision(StepDecision::Quiescent);
+            }
+            if self.step.is_multiple_of(rs.every) {
+                let d = (rs.digest)(&self.state, &self.health);
+                rs.rec.push_checkpoint(self.step, d);
+            }
         }
+        out
     }
 
     /// The reference step: full re-enumeration, `HashMap` fairness ages,
@@ -863,6 +1013,10 @@ impl<A: DinerAlgorithm> Engine<A> {
         self.fault_cursor = end;
         for i in start..end {
             let ev = self.faults.events()[i];
+            let span_before = self
+                .tracer
+                .is_some()
+                .then(|| self.alg.phase(self.state.local(ev.target)));
             match ev.kind {
                 FaultKind::Crash => {
                     let was_active = self.health[ev.target.index()].is_active();
@@ -911,6 +1065,15 @@ impl<A: DinerAlgorithm> Engine<A> {
                 ts.tele.registry_mut().inc(id);
                 ts.tele.emit(step, ev.target, TelemetryKind::Fault(ev.kind));
             }
+            if let Some(rs) = self.recorder.as_deref_mut() {
+                rs.rec.push_fault(step, ev.target, ev.kind);
+            }
+            if let Some(before) = span_before {
+                let after = self.alg.phase(self.state.local(ev.target));
+                if let Some(tr) = self.tracer.as_deref_mut() {
+                    tr.record_fault(&self.topo, step, ev.target, ev.kind, before, after);
+                }
+            }
         }
     }
 
@@ -928,7 +1091,7 @@ impl<A: DinerAlgorithm> Engine<A> {
     fn execute_move(&mut self, mv: Move) {
         let pid = mv.pid;
         let before = self.alg.phase(self.state.local(pid));
-        let writes: Vec<Write<A>> = if mv.action.is_malicious() {
+        let (writes, needs): (Vec<Write<A>>, bool) = if mv.action.is_malicious() {
             let view = View::new(&self.topo, &self.state, pid, false);
             let w = self.alg.malicious_writes(&view, &mut self.rng);
             let mut died = false;
@@ -955,7 +1118,10 @@ impl<A: DinerAlgorithm> Engine<A> {
                 ts.tele.registry_mut().inc(id);
                 ts.tele.emit(self.step, pid, TelemetryKind::MaliciousStep);
             }
-            w
+            if let Some(rs) = self.recorder.as_deref_mut() {
+                rs.rec.push_decision(StepDecision::Malicious { pid });
+            }
+            (w, false)
         } else {
             let needs = self.workload.needs(pid, self.step);
             let view = View::new(&self.topo, &self.state, pid, needs);
@@ -986,7 +1152,15 @@ impl<A: DinerAlgorithm> Engine<A> {
                     },
                 );
             }
-            w
+            if let Some(rs) = self.recorder.as_deref_mut() {
+                rs.rec.push_decision(StepDecision::Move {
+                    pid,
+                    kind: mv.action.kind,
+                    slot: mv.action.slot,
+                    needs,
+                });
+            }
+            (w, needs)
         };
 
         for w in writes {
@@ -1029,6 +1203,19 @@ impl<A: DinerAlgorithm> Engine<A> {
             self.metrics.on_phase_change(pid, before, after, self.step);
             if after == Phase::Eating {
                 self.workload.note_eat(pid, self.step);
+            }
+        }
+        if self.tracer.is_some() {
+            let span_kind = if mv.action.is_malicious() {
+                SpanKind::Malicious
+            } else {
+                SpanKind::Action {
+                    name: self.alg.kinds()[mv.action.kind].name,
+                    slot: mv.action.slot,
+                }
+            };
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.record_action(&self.topo, self.step, pid, span_kind, needs, before, after);
             }
         }
         // The write set was confined to pid's local + incident edges, so

@@ -20,7 +20,7 @@ use std::fmt;
 use crate::graph::ProcessId;
 
 /// Liveness status of a process during a run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Health {
     /// Executing its program normally.
     Live,

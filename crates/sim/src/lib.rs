@@ -56,6 +56,7 @@ pub mod fingerprint;
 pub mod graph;
 pub mod metrics;
 pub mod predicate;
+pub mod record;
 pub mod rng;
 pub mod scheduler;
 pub mod sync;
@@ -63,6 +64,7 @@ pub mod table;
 pub mod telemetry;
 pub mod toy;
 pub mod trace;
+pub mod tracing;
 pub mod workload;
 
 pub use algorithm::{
@@ -72,9 +74,14 @@ pub use engine::{Engine, EnumerationMode, RunSummary, StepOutcome};
 pub use fault::{FaultKind, FaultPlan, Health};
 pub use graph::{EdgeId, ProcessId, Topology};
 pub use predicate::{Snapshot, StatePredicate};
+pub use record::{
+    state_digest, Checkpoint, FlightRecorder, RecordedFault, Recording, ReplayScheduler, Replayer,
+    StepDecision,
+};
 pub use scheduler::Scheduler;
 pub use telemetry::{
     Deviation, EventSink, JsonlSink, MetricsRegistry, NetOp, RingSink, Telemetry, TelemetryEvent,
     TelemetryKind,
 };
+pub use tracing::{BlameChain, CausalTracer, Span, SpanId, SpanKind};
 pub use workload::Workload;

@@ -50,6 +50,19 @@ pub trait Scheduler {
     fn name(&self) -> &str;
 }
 
+/// Forwarding impl so scheduler *factories* returning `Box<dyn
+/// Scheduler>` plug straight into `EngineBuilder::scheduler` (used by
+/// the differential test sweeps).
+impl Scheduler for Box<dyn Scheduler> {
+    fn pick(&mut self, step: u64, enabled: &[EnabledMove]) -> usize {
+        (**self).pick(step, enabled)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// Cycles over processes; within a process, rotates which enabled action
 /// fires. Weakly fair: a continuously enabled action is fired within
 /// `n * max_actions` steps.

@@ -316,8 +316,9 @@ impl ReplaySummary {
 }
 
 /// Extract the value of `"key":` in a flat JSON object, as a raw token
-/// (number text, or the inside of a quoted string).
-fn json_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+/// (number text, or the inside of a quoted string). Shared with the
+/// flight-recorder parser in [`crate::record`].
+pub(crate) fn json_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = obj.find(&pat)? + pat.len();
     let rest = &obj[start..];
@@ -330,13 +331,20 @@ fn json_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     }
 }
 
+/// The event-log format version [`JsonlSink`] writes. Logs may carry a
+/// `"v"` field on any line (emitted by tools that frame their output);
+/// when present it must match.
+pub const JSONL_VERSION: u64 = 1;
+
 /// Parse a JSONL event log produced by [`JsonlSink`] back into a
 /// [`ReplaySummary`]. Verifies clock monotonicity while parsing.
 ///
 /// # Errors
 ///
-/// Returns a description of the first malformed line (missing field,
-/// non-numeric value, clock regression).
+/// Returns a description (with the 1-based line number) of the first
+/// malformed line: missing `{`/`}` framing or trailing garbage after the
+/// closing brace, a truncated record, a missing or non-numeric field, an
+/// unknown `"v"` version stamp, or a clock regression.
 pub fn parse_jsonl(text: &str) -> Result<ReplaySummary, String> {
     let mut s = ReplaySummary::default();
     let mut prev_clock: Option<u64> = None;
@@ -346,12 +354,29 @@ pub fn parse_jsonl(text: &str) -> Result<ReplaySummary, String> {
             continue;
         }
         let err = |what: &str| format!("line {}: {what}: {line}", i + 1);
+        if !line.starts_with('{') {
+            return Err(err("not a JSON object"));
+        }
+        if !line.ends_with('}') {
+            // Truncated record, or garbage after the closing brace.
+            return Err(err(if line.contains('}') {
+                "trailing garbage after object"
+            } else {
+                "truncated record"
+            }));
+        }
         let num = |key: &str| -> Result<u64, String> {
             json_field(line, key)
                 .ok_or_else(|| err(&format!("missing \"{key}\"")))?
                 .parse::<u64>()
                 .map_err(|_| err(&format!("bad \"{key}\"")))
         };
+        if let Some(v) = json_field(line, "v") {
+            let v: u64 = v.parse().map_err(|_| err("bad \"v\""))?;
+            if v != JSONL_VERSION {
+                return Err(err(&format!("unknown format version {v}")));
+            }
+        }
         let clock = num("clock")?;
         let step = num("step")?;
         let pid = num("pid")? as usize;
@@ -653,6 +678,51 @@ impl MetricsRegistry {
             gauges.join(","),
             hists.join(",")
         )
+    }
+
+    /// Render the whole registry in the Prometheus text exposition
+    /// format: one `# TYPE` header per metric, dotted names mapped to
+    /// underscores, histograms as cumulative `_bucket{le="..."}` series
+    /// plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                if i < h.bounds.len() {
+                    out.push_str(&format!(
+                        "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        h.bounds[i]
+                    ));
+                } else {
+                    out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                }
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
     }
 }
 
@@ -1078,5 +1148,166 @@ mod tests {
             },
         );
         assert!(e.to_json().contains("\"from\":\"T\",\"to\":\"H\""));
+    }
+
+    #[test]
+    fn ring_sink_accounting_at_capacity_boundaries() {
+        // Pin total()/dropped() semantics exactly at the capacity edge
+        // and across wraparound: dropped() must stay 0 up to and
+        // including the fill that reaches capacity, then grow by exactly
+        // one per further emit, with total() always = emits so far.
+        let cap = 4;
+        let mut ring = RingSink::new(cap);
+        assert_eq!((ring.total(), ring.dropped()), (0, 0));
+        for i in 0..cap as u64 {
+            ring.emit(&ev(i + 1, i, 0, TelemetryKind::MaliciousStep));
+            assert_eq!(ring.total(), i + 1, "total after emit {}", i + 1);
+            assert_eq!(ring.dropped(), 0, "no eviction below capacity");
+        }
+        assert_eq!(ring.events().count(), cap);
+        // Wraparound: each further emit evicts exactly one.
+        for extra in 1..=2 * cap as u64 {
+            ring.emit(&ev(cap as u64 + extra, 0, 0, TelemetryKind::MaliciousStep));
+            assert_eq!(ring.total(), cap as u64 + extra);
+            assert_eq!(ring.dropped(), extra, "one eviction per overflow emit");
+            assert_eq!(ring.events().count(), cap, "ring stays exactly full");
+        }
+        // Retained window is the most recent `cap` clocks.
+        let clocks: Vec<u64> = ring.events().map(|e| e.clock).collect();
+        let last = 3 * cap as u64;
+        let want: Vec<u64> = (last - cap as u64 + 1..=last).collect();
+        assert_eq!(clocks, want);
+
+        // cap=1 degenerate ring: always holds exactly the last event.
+        let mut one = RingSink::new(1);
+        for i in 0..3 {
+            one.emit(&ev(i + 1, i, 0, TelemetryKind::MaliciousStep));
+        }
+        assert_eq!((one.total(), one.dropped()), (3, 2));
+        assert_eq!(one.events().map(|e| e.clock).collect::<Vec<_>>(), [3]);
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_each_malformation_with_line_number() {
+        let good = "{\"clock\":1,\"step\":0,\"pid\":0,\"kind\":\"x\"}";
+        // Deterministic sweep: (input, substring the error must carry).
+        let cases: &[(&str, &str)] = &[
+            // Malformed line: not an object at all.
+            ("clock:1 step:0", "line 1"),
+            ("[1,2,3]", "not a JSON object"),
+            // Truncated record.
+            ("{\"clock\":1,\"step\":0", "truncated record"),
+            // Trailing garbage after the closing brace.
+            (
+                "{\"clock\":1,\"step\":0,\"pid\":0,\"kind\":\"x\"} extra",
+                "trailing garbage",
+            ),
+            // Unknown version header.
+            (
+                "{\"v\":99,\"clock\":1,\"step\":0,\"pid\":0,\"kind\":\"x\"}",
+                "unknown format version 99",
+            ),
+            (
+                "{\"v\":no,\"clock\":1,\"step\":0,\"pid\":0,\"kind\":\"x\"}",
+                "bad \"v\"",
+            ),
+            // Missing / non-numeric fields.
+            ("{\"step\":0,\"pid\":0,\"kind\":\"x\"}", "missing \"clock\""),
+            ("{\"clock\":1,\"pid\":0,\"kind\":\"x\"}", "missing \"step\""),
+            ("{\"clock\":1,\"step\":0,\"kind\":\"x\"}", "missing \"pid\""),
+            ("{\"clock\":1,\"step\":0,\"pid\":0}", "missing \"kind\""),
+            (
+                "{\"clock\":-3,\"step\":0,\"pid\":0,\"kind\":\"x\"}",
+                "bad \"clock\"",
+            ),
+        ];
+        for (bad, want) in cases {
+            let e = parse_jsonl(bad).expect_err(bad);
+            assert!(
+                e.contains(want),
+                "input {bad:?}: error {e:?} lacks {want:?}"
+            );
+        }
+        // Line numbers point at the offending line, not the first.
+        let two = format!("{good}\n{{\"clock\":2,\"step\":0");
+        let e = parse_jsonl(&two).unwrap_err();
+        assert!(e.starts_with("line 2:"), "{e}");
+        // A correct version stamp and blank lines are accepted.
+        let stamped = "{\"v\":1,\"clock\":1,\"step\":0,\"pid\":0,\"kind\":\"x\"}\n\n";
+        assert_eq!(parse_jsonl(stamped).unwrap().events, 1);
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty histogram: every quantile is None.
+        let empty = Histogram::with_bounds(vec![10, 20]);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+
+        // Single observation, single finite bucket.
+        let mut single = Histogram::with_bounds(vec![10]);
+        single.record(7);
+        assert_eq!(
+            single.quantile(0.0),
+            Some(7),
+            "q=0 clamps to the min-holding bucket"
+        );
+        assert_eq!(single.quantile(0.5), Some(7));
+        assert_eq!(single.quantile(1.0), Some(7));
+
+        // q=0.0 still needs at least one observation (target.max(1)).
+        let mut h = Histogram::with_bounds(vec![1, 4, 16]);
+        for v in [0, 2, 5, 40] {
+            h.record(v);
+        }
+        assert_eq!(
+            h.quantile(0.0),
+            Some(1),
+            "q=0 lands in the first non-empty bucket"
+        );
+        assert_eq!(h.quantile(1.0), Some(40), "q=1 reports the exact max");
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+
+        // Custom bounds: bucket-edge resolution, capped by the max.
+        let mut c = Histogram::with_bounds(vec![100]);
+        c.record(3);
+        c.record(4);
+        assert_eq!(c.quantile(0.5), Some(4), "edge reported no higher than max");
+
+        // Overflow-bucket-only data.
+        let mut o = Histogram::with_bounds(vec![1]);
+        o.record(50);
+        assert_eq!(o.quantile(0.5), Some(50));
+        assert_eq!(o.quantile(1.0), Some(50));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("engine.action.enter");
+        reg.add(c, 5);
+        let g = reg.gauge("explore.peak_frontier");
+        reg.set(g, 2.5);
+        let h = reg.histogram_with("wait.steps", || Histogram::with_bounds(vec![1, 4]));
+        for v in [0, 2, 9] {
+            reg.record(h, v);
+        }
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE engine_action_enter counter\nengine_action_enter 5\n"));
+        assert!(text.contains("# TYPE explore_peak_frontier gauge\nexplore_peak_frontier 2.5\n"));
+        // Histogram buckets are cumulative and end at +Inf = count.
+        assert!(text.contains("wait_steps_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("wait_steps_bucket{le=\"4\"} 2\n"), "{text}");
+        assert!(
+            text.contains("wait_steps_bucket{le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("wait_steps_sum 11\n"));
+        assert!(text.contains("wait_steps_count 3\n"));
+        // No dotted names survive.
+        assert!(!text.contains("engine.action"), "{text}");
     }
 }

@@ -54,6 +54,22 @@ fn main() {
         tele.max_radius
     );
 
+    let recovery = diners_bench::experiments::recovery::run_report(&scale, quick);
+    println!("{}", recovery.incidents);
+    println!("{}", recovery.supervised);
+    println!("{}", recovery.budget);
+    std::fs::write("BENCH_recovery.json", &recovery.json).expect("write recovery JSON");
+    println!("wrote BENCH_recovery.json");
+    assert!(
+        recovery.clean(),
+        "recovery sweep failed: radius {}, unrecovered {}, storm failures {}, \
+         unexpected giveups {}",
+        recovery.max_radius,
+        recovery.unrecovered,
+        recovery.storm_failures,
+        recovery.unexpected_giveups,
+    );
+
     let trace = diners_bench::experiments::tracing::run(quick);
     println!("{}", trace.replay);
     println!("{}", trace.blame);

@@ -1,0 +1,35 @@
+//! T13 recovery harness binary.
+//!
+//!   --quick       reduced test-scale sweep
+//!   --out PATH    where to write the JSON (default BENCH_recovery.json)
+//!
+//! Exits nonzero if any incident fails to reconverge, disturbs service
+//! beyond distance 2, leaves a supervised run violated/starved, or
+//! burns restart budget it should not.
+
+use diners_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let report = diners_bench::experiments::recovery::run_report(&scale, quick);
+    println!("{}", report.incidents);
+    println!("{}", report.supervised);
+    println!("{}", report.budget);
+    std::fs::write(&out, &report.json).expect("write recovery JSON");
+    println!("wrote {out}");
+    println!(
+        "recovery: max radius {}, {} unrecovered, {} storm failures, {} unexpected giveups",
+        report.max_radius, report.unrecovered, report.storm_failures, report.unexpected_giveups
+    );
+    assert!(
+        report.clean(),
+        "recovery sweep found a reconvergence/locality/supervision failure"
+    );
+}

@@ -12,6 +12,7 @@ pub mod malicious;
 pub mod masking;
 pub mod message_passing;
 pub mod perf;
+pub mod recovery;
 pub mod stabilization;
 pub mod telemetry;
 pub mod throughput;

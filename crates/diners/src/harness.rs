@@ -3,7 +3,7 @@
 
 use diners_sim::algorithm::DinerAlgorithm;
 use diners_sim::engine::Engine;
-use diners_sim::fault::{FaultKind, FaultPlan};
+use diners_sim::fault::{FaultKind, FaultPlan, Resurrection};
 use diners_sim::graph::{ProcessId, Topology};
 use diners_sim::scheduler::{LeastRecentScheduler, RandomScheduler};
 use diners_sim::telemetry::{self, Deviation, DisturbanceReport, Telemetry};
@@ -147,6 +147,89 @@ pub fn crash_disturbance<A: DinerAlgorithm + Clone>(
     telemetry::disturbance_radius(topo, baseline.trace(), faulty.trace(), crash_site, rule)
 }
 
+/// Measure the empirical disturbance radius of an arbitrary fault plan
+/// around `site`: the same fault-free-twin comparison as
+/// [`crash_disturbance`], but the faulty run executes `faults` verbatim
+/// — so a crash *and its restart* count as one incident, and the radius
+/// reflects the whole crash→recovery episode. Use [`service_shortfall`]
+/// as the rule for locality claims.
+pub fn plan_disturbance<A: DinerAlgorithm + Clone>(
+    alg: A,
+    topo: &Topology,
+    site: ProcessId,
+    faults: FaultPlan,
+    steps: u64,
+    rule: &Deviation,
+    seed: u64,
+) -> DisturbanceReport {
+    let run = |plan: FaultPlan| {
+        let mut engine = Engine::builder(alg.clone(), topo.clone())
+            .scheduler(LeastRecentScheduler::new())
+            .faults(plan)
+            .seed(seed)
+            .record_trace(true)
+            .build();
+        engine.run(steps);
+        engine
+    };
+    let baseline = run(FaultPlan::none());
+    let faulty = run(faults);
+    telemetry::disturbance_radius(topo, baseline.trace(), faulty.trace(), site, rule)
+}
+
+/// One crash→restart incident, measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryIncident {
+    /// The step at which the restart fired.
+    pub restart_step: u64,
+    /// First step (absolute) from which the invariant `I` held
+    /// continuously through the horizon, if it reconverged.
+    pub reconverged_at: Option<u64>,
+    /// Mean-time-to-reconverge for this incident: steps from the restart
+    /// until the invariant held for good. `None` if the horizon ran out.
+    pub mttr: Option<u64>,
+}
+
+/// Run one crash→restart incident and measure its recovery time: crash
+/// `site` at `crash_step`, resurrect it at `restart_step` with `state`,
+/// then report when the system reconverges to the invariant `I` (checked
+/// continuously through `horizon` further steps).
+///
+/// Stabilization is what makes this well-defined for *every*
+/// [`Resurrection`] mode — even a node reborn with arbitrary garbage is
+/// just one more transient the algorithm recovers from.
+#[allow(clippy::too_many_arguments)]
+pub fn recovery_incident(
+    alg: MaliciousCrashDiners,
+    topo: Topology,
+    site: ProcessId,
+    crash_step: u64,
+    restart_step: u64,
+    state: Resurrection,
+    horizon: u64,
+    seed: u64,
+) -> RecoveryIncident {
+    let invariant = Invariant::for_algorithm(&alg);
+    let mut engine = Engine::builder(alg, topo)
+        .scheduler(RandomScheduler::new(seed))
+        .faults(
+            FaultPlan::new()
+                .crash(crash_step, site)
+                .restart(restart_step, site, state),
+        )
+        .seed(seed)
+        .build();
+    // The restart applies during the step numbered `restart_step`.
+    engine.run(restart_step + 1);
+    debug_assert!(!engine.is_dead(site), "restart did not land");
+    let reconverged_at = engine.convergence_step(&invariant, horizon);
+    RecoveryIncident {
+        restart_step,
+        reconverged_at,
+        mttr: reconverged_at.map(|at| at.saturating_sub(restart_step)),
+    }
+}
+
 /// Fault-free service statistics over a run.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServiceStats {
@@ -194,6 +277,57 @@ mod tests {
         assert!(stats.min_eats > 0, "every process eats: {stats:?}");
         assert_eq!(stats.violation_steps, 0);
         assert!(stats.fairness.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn recovery_incident_reconverges_for_every_resurrection_mode() {
+        for state in [
+            Resurrection::Fresh,
+            Resurrection::Snapshot { age: 200 },
+            Resurrection::Arbitrary { seed: 0xBAD },
+        ] {
+            let inc = recovery_incident(
+                MaliciousCrashDiners::paper(),
+                Topology::line(6),
+                ProcessId(2),
+                1_000,
+                3_000,
+                state,
+                60_000,
+                7,
+            );
+            let at = inc
+                .reconverged_at
+                .unwrap_or_else(|| panic!("{state:?}: no reconvergence"));
+            assert!(at >= inc.restart_step, "{state:?}: converged at {at}");
+            assert_eq!(inc.mttr, Some(at - inc.restart_step));
+        }
+    }
+
+    #[test]
+    fn crash_restart_incident_stays_local() {
+        // A full crash→recovery episode still has failure locality 2 in
+        // meal shortfall: everything at distance > 2 from the incident is
+        // undisturbed.
+        let steps = 4_000u64;
+        let site = ProcessId(4);
+        let plan = FaultPlan::new()
+            .crash(300, site)
+            .restart(1_500, site, Resurrection::Fresh);
+        let report = plan_disturbance(
+            MaliciousCrashDiners::corrected(),
+            &Topology::line(9),
+            site,
+            plan,
+            steps,
+            &service_shortfall(steps / 256),
+            11,
+        );
+        assert!(
+            report.radius <= 2,
+            "crash+restart incident radius {} > 2",
+            report.radius
+        );
     }
 
     #[test]

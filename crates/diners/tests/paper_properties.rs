@@ -327,6 +327,90 @@ fn every_perturbed_state_converges_on_star4() {
     }
 }
 
+/// Drive the round-robin daemon from the initial state until the
+/// invariant first holds, yielding a legitimate configuration to plant
+/// resurrection scenarios in.
+fn legitimate_base(
+    alg: &MaliciousCrashDiners,
+    topo: &Topology,
+) -> SystemState<MaliciousCrashDiners> {
+    let invariant = Invariant::for_algorithm(alg);
+    let health = vec![Health::Live; topo.len()];
+    let mut state = SystemState::initial(alg, topo);
+    let mut cursor = 0usize;
+    for _ in 0..10_000 {
+        if invariant.holds(&Snapshot::new(topo, &state, &health)) {
+            return state;
+        }
+        match rr_successor(alg, topo, &mut state, cursor) {
+            Some(pid) => cursor = (pid + 1) % topo.len(),
+            None => break,
+        }
+    }
+    panic!("{}: no legitimate base state reached", topo.name());
+}
+
+#[test]
+fn arbitrary_resurrection_always_reconverges() {
+    // Snapshot/resurrect semantics, exhaustively: a node reborn with
+    // *arbitrary* local state (every phase × the full `corrupt_local`
+    // depth domain) and arbitrary orientations on its incident edges,
+    // planted in an otherwise legitimate configuration, always
+    // reconverges to `I` under the memoized round-robin daemon. This is
+    // the state-space counterpart of `Resurrection::Arbitrary` in the
+    // engine and SimNet: stabilization makes restart-from-garbage sound.
+    for topo in [Topology::line(4), Topology::ring(4), Topology::star(4)] {
+        let is_tree = topo.edge_count() + 1 == topo.len();
+        let mut variants = vec![(MaliciousCrashDiners::corrected(), 2 * topo.len() as u32 + 8)];
+        if is_tree {
+            variants.push((MaliciousCrashDiners::paper(), 2 * topo.diameter() + 8));
+        }
+        for (alg, depth_max) in variants {
+            let name = alg.name().to_string();
+            let invariant = Invariant::for_algorithm(&alg);
+            let health = vec![Health::Live; topo.len()];
+            let base = legitimate_base(&alg, &topo);
+            let per_local = 3 * (depth_max as u64 + 1);
+            let mut memo: HashMap<u64, u32> = HashMap::new();
+            let mut hist = Histogram::pow2();
+            for victim in topo.processes() {
+                let incident: Vec<EdgeId> = (0..topo.edge_count())
+                    .map(EdgeId)
+                    .filter(|&e| {
+                        let (a, b) = topo.endpoints(e);
+                        a == victim || b == victim
+                    })
+                    .collect();
+                let total = per_local * 2u64.pow(incident.len() as u32);
+                for idx in 0..total {
+                    let mut state = base.clone();
+                    let mut rest = idx;
+                    let v = rest % per_local;
+                    rest /= per_local;
+                    let local = state.local_mut(victim);
+                    local.phase = phase_of(v / (depth_max as u64 + 1));
+                    local.depth = (v % (depth_max as u64 + 1)) as u32;
+                    for &e in &incident {
+                        let bit = rest % 2;
+                        rest /= 2;
+                        let (a, b) = topo.endpoints(e);
+                        state.edge_mut(e).ancestor = if bit == 1 { b } else { a };
+                    }
+                    let steps =
+                        steps_to_invariant(&alg, &topo, &invariant, &health, state, &mut memo);
+                    hist.record(steps as u64);
+                }
+            }
+            let max = hist.max().expect("non-empty resurrection sweep");
+            assert!(
+                max <= 200,
+                "{} {name}: resurrection reconvergence bound {max} implausibly large",
+                topo.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn disturbance_radius_at_most_two_for_every_single_crash() {
     // Every crash site × fault kind on the exhaustive graphs plus two

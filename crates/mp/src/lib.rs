@@ -21,7 +21,12 @@
 //!   initial states) plus the adversary's link faults;
 //! * [`runtime`] — a real thread-per-node runtime over crossbeam
 //!   channels, running the *same* node logic under the *same* adversary
-//!   plans.
+//!   plans;
+//! * [`supervisor`] — a heartbeat watchdog with capped-exponential
+//!   backoff restarts, a per-process restart budget, and checksummed
+//!   state snapshots, driving crash-recovery in both [`simnet`] and
+//!   [`runtime`] (stabilization is what makes restarting with fresh,
+//!   stale, or even arbitrary state sound).
 //!
 //! The guarantees here are the message-passing analogues of the paper's:
 //! exclusion and service recover *eventually* after transients and
@@ -38,6 +43,7 @@ pub mod message;
 pub mod node;
 pub mod runtime;
 pub mod simnet;
+pub mod supervisor;
 pub mod vclock;
 
 pub use adversary::{AdversaryPlan, LinkAdversary, NetStats};
@@ -45,4 +51,5 @@ pub use message::LinkMsg;
 pub use node::{Node, NodeConfig, NodeEvent};
 pub use runtime::ThreadRuntime;
 pub use simnet::SimNet;
+pub use supervisor::{RestartPolicy, Supervisor, SupervisorAction};
 pub use vclock::{NetOp, NetSpan, NetTracer, Stamp, VectorClock};

@@ -289,6 +289,140 @@ impl Node {
         }
     }
 
+    /// Epoch reset for the link to a peer that crashed and was
+    /// resurrected by the supervisor: restart the wrapping
+    /// sequence-number exchange from zero, void any in-flight fork
+    /// transfer, and re-arm the retransmission timer.
+    ///
+    /// Without this, a reborn peer's first messages (sequence numbers
+    /// starting over from 1) look *stale* against our high `recv_seq`
+    /// and are dropped for `RESYNC_AFTER` deliveries — so its first
+    /// post-restart grant would be discarded as a duplicate and recovery
+    /// would stall until the slow resync path kicks in. Unknown peers
+    /// are ignored (a confused supervisor must not corrupt link state).
+    pub fn peer_reborn(&mut self, peer: ProcessId) {
+        if !self.cfg.neighbors.contains(&peer) {
+            return;
+        }
+        let l = self.link_mut(peer);
+        l.send_seq = 0;
+        l.recv_seq = 0;
+        l.stale_run = 0;
+        // An in-flight transfer to the dead incarnation is void; clearing
+        // it lets the master regenerate a fork the reboot lost.
+        l.transfer_pending = false;
+        // Force a fresh compose (current state, new sequence stream)
+        // instead of retransmitting a pre-crash payload.
+        l.last_sent = None;
+        l.retx_interval = 1;
+        l.retx_countdown = 0;
+    }
+
+    /// Serialize the node's *protocol* state (phase, depth, meals, per-
+    /// link handshake/fork/priority replicas) for supervisor checkpoints.
+    /// Transport state (sequence cursors, retransmission timers) is
+    /// deliberately excluded: a reboot always starts a fresh wire epoch.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.links.len() * 20);
+        out.push(phase_byte(self.phase));
+        out.extend_from_slice(&self.depth.to_le_bytes());
+        out.push(u8::from(self.needs));
+        out.extend_from_slice(&self.meals.to_le_bytes());
+        out.push(self.links.len() as u8);
+        for l in &self.links {
+            out.push(l.hs.counter());
+            out.push(u8::from(l.has_fork));
+            out.push(u8::from(l.peer_requested));
+            out.push(u8::from(l.ancestor == self.cfg.id));
+            out.extend_from_slice(&l.prio_ver.to_le_bytes());
+            match l.pending_yield {
+                Some(v) => {
+                    out.push(1);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                None => {
+                    out.push(0);
+                    out.extend_from_slice(&0u32.to_le_bytes());
+                }
+            }
+            out.push(phase_byte(l.peer_phase));
+            out.extend_from_slice(&l.peer_depth.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restore protocol state from [`Node::snapshot_bytes`] output.
+    /// Transport state is reset to the fresh-epoch values (matching the
+    /// neighbors' [`Node::peer_reborn`] reset).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the bytes are truncated, oversized, or
+    /// shaped for a different neighbor count.
+    pub fn restore_bytes(&mut self, raw: &[u8]) -> Result<(), String> {
+        let mut cur = Cursor { raw, at: 0 };
+        let phase = parse_phase(cur.u8()?)?;
+        let depth = u32::from_le_bytes(cur.bytes4()?);
+        let needs = cur.u8()? != 0;
+        let meals = u64::from_le_bytes(cur.bytes8()?);
+        let nlinks = cur.u8()? as usize;
+        if nlinks != self.links.len() {
+            return Err(format!(
+                "snapshot has {nlinks} links, node has {}",
+                self.links.len()
+            ));
+        }
+        let me = self.cfg.id;
+        let mut links = Vec::with_capacity(nlinks);
+        for l in &self.links {
+            let counter = cur.u8()?;
+            if counter >= crate::kstate::K {
+                return Err(format!("handshake counter {counter} out of range"));
+            }
+            let has_fork = cur.u8()? != 0;
+            let peer_requested = cur.u8()? != 0;
+            let ancestor_is_me = cur.u8()? != 0;
+            let prio_ver = u32::from_le_bytes(cur.bytes4()?);
+            let has_yield = cur.u8()? != 0;
+            let yield_ver = u32::from_le_bytes(cur.bytes4()?);
+            let peer_phase = parse_phase(cur.u8()?)?;
+            let peer_depth = u32::from_le_bytes(cur.bytes4()?);
+            let role = if me < l.peer {
+                Role::Master
+            } else {
+                Role::Slave
+            };
+            links.push(LinkState {
+                peer: l.peer,
+                hs: Handshake::with_counter(role, counter),
+                has_fork,
+                transfer_pending: false,
+                peer_requested,
+                ancestor: if ancestor_is_me { me } else { l.peer },
+                prio_ver,
+                pending_yield: has_yield.then_some(yield_ver),
+                peer_phase,
+                peer_depth,
+                last_sent: None,
+                send_seq: 0,
+                recv_seq: 0,
+                stale_run: 0,
+                retx_interval: 1,
+                retx_countdown: 0,
+            });
+        }
+        if cur.at != raw.len() {
+            return Err("trailing bytes after snapshot".into());
+        }
+        self.phase = phase;
+        self.depth = depth;
+        self.needs = needs;
+        self.meals = meals;
+        self.just_entered = false;
+        self.links = links;
+        Ok(())
+    }
+
     fn link(&self, peer: ProcessId) -> &LinkState {
         self.links
             .iter()
@@ -584,6 +718,55 @@ impl Node {
     }
 }
 
+fn phase_byte(p: Phase) -> u8 {
+    match p {
+        Phase::Thinking => 0,
+        Phase::Hungry => 1,
+        Phase::Eating => 2,
+    }
+}
+
+fn parse_phase(b: u8) -> Result<Phase, String> {
+    match b {
+        0 => Ok(Phase::Thinking),
+        1 => Ok(Phase::Hungry),
+        2 => Ok(Phase::Eating),
+        other => Err(format!("bad phase byte {other}")),
+    }
+}
+
+/// Minimal bounds-checked byte reader for [`Node::restore_bytes`].
+struct Cursor<'a> {
+    raw: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Result<u8, String> {
+        let b = *self.raw.get(self.at).ok_or("truncated snapshot")?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn bytes4(&mut self) -> Result<[u8; 4], String> {
+        let s = self
+            .raw
+            .get(self.at..self.at + 4)
+            .ok_or("truncated snapshot")?;
+        self.at += 4;
+        Ok(s.try_into().expect("slice of length 4"))
+    }
+
+    fn bytes8(&mut self) -> Result<[u8; 8], String> {
+        let s = self
+            .raw
+            .get(self.at..self.at + 8)
+            .ok_or("truncated snapshot")?;
+        self.at += 8;
+        Ok(s.try_into().expect("slice of length 8"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,6 +1013,122 @@ mod tests {
         });
         assert!(out.is_empty(), "duplicate grant must be dropped cold");
         assert!(b.holds_fork(ProcessId(0)));
+    }
+
+    #[test]
+    fn post_restart_grant_is_not_dropped_as_stale() {
+        // Build up high sequence numbers on both sides of the link.
+        let (mut a, mut b) = pair();
+        ping_pong(&mut a, &mut b, 700);
+        // b crashes and is reborn fresh: its sequence stream restarts
+        // from zero.
+        let mut reborn = Node::new(NodeConfig {
+            id: ProcessId(1),
+            neighbors: vec![ProcessId(0)],
+            diameter: 1,
+        });
+        let first = reborn.handle(NodeEvent::Tick).remove(0).1;
+        assert_eq!(first.seq, 1, "fresh node opens a new wire epoch");
+        // Without the epoch reset, a's high recv_seq classifies the
+        // reborn peer's first message as a stale duplicate and drops it.
+        let mut stale_a = a.clone();
+        let out = stale_a.handle(NodeEvent::Deliver {
+            from: ProcessId(1),
+            msg: first,
+        });
+        assert!(
+            out.is_empty(),
+            "pre-fix behavior: first post-restart message dropped as stale"
+        );
+        assert_eq!(
+            stale_a.link(ProcessId(1)).stale_run,
+            1,
+            "drop must be attributed to the freshness filter"
+        );
+        // With peer_reborn, the same message passes the freshness filter
+        // — the reborn node is not poisoned by the old epoch.
+        a.peer_reborn(ProcessId(1));
+        a.handle(NodeEvent::Deliver {
+            from: ProcessId(1),
+            msg: first,
+        });
+        let l = a.link(ProcessId(1));
+        assert_eq!(l.recv_seq, 1, "reset link must adopt the reborn stream");
+        assert_eq!(l.stale_run, 0, "reborn stream is fresh, not stale");
+        // And the pair converges back to service: the reborn node obtains
+        // the fork and eats (transient noise is legal while the handshake
+        // realigns, hence the unchecked prefix).
+        ping_pong_no_check(&mut a, &mut reborn, 300);
+        ping_pong(&mut a, &mut reborn, 2_000);
+        assert!(reborn.meals() > 0, "reborn node never ate again");
+    }
+
+    #[test]
+    fn peer_reborn_ignores_strangers() {
+        let (mut a, _) = pair();
+        let before = a.clone();
+        a.peer_reborn(ProcessId(9));
+        assert_eq!(format!("{before:?}"), format!("{a:?}"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_protocol_state() {
+        let (mut a, mut b) = pair();
+        ping_pong(&mut a, &mut b, 1_234);
+        let raw = a.snapshot_bytes();
+        let mut restored = Node::new(NodeConfig {
+            id: ProcessId(0),
+            neighbors: vec![ProcessId(1)],
+            diameter: 1,
+        });
+        restored.restore_bytes(&raw).expect("snapshot restores");
+        assert_eq!(restored.phase(), a.phase());
+        assert_eq!(restored.depth(), a.depth());
+        assert_eq!(restored.meals(), a.meals());
+        assert_eq!(
+            restored.holds_fork(ProcessId(1)),
+            a.holds_fork(ProcessId(1))
+        );
+        assert_eq!(
+            restored.priority_replica(ProcessId(1)),
+            a.priority_replica(ProcessId(1))
+        );
+        // Transport state restarts at the fresh epoch: the first message
+        // out carries sequence number 1.
+        let msg = restored.handle(NodeEvent::Tick).remove(0).1;
+        assert_eq!(msg.seq, 1, "restored node must open a fresh wire epoch");
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let (a, _) = pair();
+        let raw = a.snapshot_bytes();
+        let mut n = Node::new(NodeConfig {
+            id: ProcessId(0),
+            neighbors: vec![ProcessId(1)],
+            diameter: 1,
+        });
+        assert!(n.restore_bytes(&raw[..raw.len() - 1]).is_err(), "truncated");
+        let mut long = raw.clone();
+        long.push(0);
+        assert!(n.restore_bytes(&long).is_err(), "trailing bytes");
+        let mut bad_phase = raw.clone();
+        bad_phase[0] = 7;
+        assert!(n.restore_bytes(&bad_phase).is_err(), "bad phase byte");
+        // Wrong neighbor count.
+        let mut wide = Node::new(NodeConfig {
+            id: ProcessId(1),
+            neighbors: vec![ProcessId(0), ProcessId(2)],
+            diameter: 2,
+        });
+        assert!(wide.restore_bytes(&raw).is_err(), "link-count mismatch");
+        // A failed restore must leave the node untouched.
+        let fresh = Node::new(NodeConfig {
+            id: ProcessId(0),
+            neighbors: vec![ProcessId(1)],
+            diameter: 1,
+        });
+        assert_eq!(format!("{n:?}"), format!("{fresh:?}"));
     }
 
     #[test]

@@ -25,12 +25,13 @@
 //! themselves).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
+use diners_sim::fault::Resurrection;
 use diners_sim::graph::{ProcessId, Topology};
 use diners_sim::rng;
 use diners_sim::Phase;
@@ -38,6 +39,11 @@ use diners_sim::Phase;
 use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary, NetStats};
 use crate::message::LinkMsg;
 use crate::node::{Node, NodeConfig, NodeEvent};
+use crate::supervisor::{RestartPolicy, Supervisor, SupervisorAction};
+
+/// Cadence (in node ticks) of each thread's self-checkpoint into its
+/// shared snapshot slot, read back on `Restart(Snapshot)`.
+const SNAPSHOT_EVERY_TICKS: u64 = 64;
 
 /// Messages on the control/data channels between threads.
 enum Wire {
@@ -52,6 +58,11 @@ enum Wire {
     Crash,
     /// Behave arbitrarily for this many turns, then halt.
     MaliciousCrash(u32),
+    /// Resurrect a halted node with the given state policy (a live
+    /// recipient ignores this: restart is recovery, not preemption).
+    Restart(Resurrection),
+    /// A neighbor was resurrected: reset the link's wire epoch.
+    PeerReborn(ProcessId),
     /// Clean shutdown at the end of the run.
     Shutdown,
 }
@@ -119,6 +130,14 @@ struct Shared {
     /// Per-node protocol-hardening counters, published with each phase.
     retransmits: Vec<AtomicU64>,
     resyncs: Vec<AtomicU64>,
+    /// Per-node liveness counters, bumped on every publish; the watchdog
+    /// thread reads a changed value as a heartbeat.
+    beats: Vec<AtomicU64>,
+    /// Per-node self-checkpoints (most recent [`Node::snapshot_bytes`]).
+    snaps: Vec<Mutex<Option<Vec<u8>>>>,
+    /// Watchdog bookkeeping: restarts issued / processes abandoned.
+    sup_restarts: AtomicU64,
+    sup_giveups: AtomicU64,
     net: SharedNet,
 }
 
@@ -128,6 +147,9 @@ pub struct ThreadRuntime {
     senders: Vec<Sender<Wire>>,
     handles: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
+    /// Watchdog thread (stop flag + handle), present under
+    /// [`ThreadRuntime::spawn_supervised`].
+    watchdog: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
 }
 
 impl ThreadRuntime {
@@ -155,6 +177,10 @@ impl ThreadRuntime {
             dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
             retransmits: (0..n).map(|_| AtomicU64::new(0)).collect(),
             resyncs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            snaps: (0..n).map(|_| Mutex::new(None)).collect(),
+            sup_restarts: AtomicU64::new(0),
+            sup_giveups: AtomicU64::new(0),
             net: SharedNet::default(),
         });
         let channels: Vec<(Sender<Wire>, Receiver<Wire>)> = (0..n).map(|_| unbounded()).collect();
@@ -185,7 +211,61 @@ impl ThreadRuntime {
             senders,
             handles,
             shared,
+            watchdog: None,
         }
+    }
+
+    /// Like [`ThreadRuntime::spawn`], plus a watchdog thread running a
+    /// [`Supervisor`] over the fleet: every node's publishes double as
+    /// heartbeats, silence past the policy's `probe_timeout` (measured
+    /// in watchdog ticks of `tick` each) triggers a capped-backoff
+    /// [`Wire::Restart`], and budget exhaustion abandons the node.
+    ///
+    /// Snapshots here are the *threads' own* periodic self-checkpoints
+    /// (every [`SNAPSHOT_EVERY_TICKS`] ticks); the policy's
+    /// `snapshot_every` knob and the supervisor's checksummed custody
+    /// are exercised by the deterministic [`crate::SimNet`] path.
+    pub fn spawn_supervised(
+        topo: Topology,
+        tick: Duration,
+        seed: u64,
+        policy: RestartPolicy,
+    ) -> Self {
+        let mut rt = Self::spawn(topo, tick, seed);
+        let n = rt.topo.len();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let shared = Arc::clone(&rt.shared);
+        let senders = rt.senders.clone();
+        let handle = std::thread::spawn(move || {
+            let mut sup = Supervisor::new(n, policy, rng::subseed(seed, 0x50B5));
+            let mut last_beats = vec![u64::MAX; n];
+            let mut now = 0u64;
+            while !stop2.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                now += 1;
+                for (i, last) in last_beats.iter_mut().enumerate() {
+                    let b = shared.beats[i].load(Ordering::SeqCst);
+                    if b != *last {
+                        *last = b;
+                        sup.heartbeat(now, ProcessId(i));
+                    }
+                }
+                for a in sup.poll(now) {
+                    match a {
+                        SupervisorAction::Restart { pid, state } => {
+                            shared.sup_restarts.fetch_add(1, Ordering::SeqCst);
+                            let _ = senders[pid.index()].send(Wire::Restart(state));
+                        }
+                        SupervisorAction::GiveUp { .. } => {
+                            shared.sup_giveups.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
+        });
+        rt.watchdog = Some((stop, handle));
+        rt
     }
 
     /// The topology.
@@ -241,6 +321,22 @@ impl ThreadRuntime {
         let _ = self.senders[p.index()].send(Wire::MaliciousCrash(steps));
     }
 
+    /// Resurrect a halted node with the given state policy. Ignored by a
+    /// live node (restart is recovery, not preemption).
+    pub fn restart(&self, p: ProcessId, state: Resurrection) {
+        let _ = self.senders[p.index()].send(Wire::Restart(state));
+    }
+
+    /// Restarts issued by the watchdog so far (0 without supervision).
+    pub fn supervisor_restarts(&self) -> u64 {
+        self.shared.sup_restarts.load(Ordering::SeqCst)
+    }
+
+    /// Processes abandoned by the watchdog (restart budget exhausted).
+    pub fn supervisor_giveups(&self) -> u64 {
+        self.shared.sup_giveups.load(Ordering::SeqCst)
+    }
+
     /// Let the system run for `d`, sampling exclusion among live
     /// neighbors every `sample_every`; returns the number of samples at
     /// which two non-dead neighbors were simultaneously eating.
@@ -262,7 +358,11 @@ impl ThreadRuntime {
     }
 
     /// Shut every thread down and join them.
-    pub fn shutdown(self) {
+    pub fn shutdown(mut self) {
+        if let Some((stop, h)) = self.watchdog.take() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = h.join();
+        }
         for s in &self.senders {
             let _ = s.send(Wire::Shutdown);
         }
@@ -340,7 +440,7 @@ fn node_thread(
     plan: AdversaryPlan,
 ) {
     let id = cfg.id;
-    let mut node = Node::new(cfg);
+    let mut node = Node::new(cfg.clone());
     let mut rng = rng::rng(seed);
     let mut net = FaultySender {
         id,
@@ -356,6 +456,8 @@ fn node_thread(
         shared.meals[id.index()].store(node.meals(), Ordering::SeqCst);
         shared.retransmits[id.index()].store(node.retransmits(), Ordering::SeqCst);
         shared.resyncs[id.index()].store(node.resyncs(), Ordering::SeqCst);
+        // Each publish is a liveness proof for the watchdog.
+        shared.beats[id.index()].fetch_add(1, Ordering::SeqCst);
     };
     publish(&node);
     // Ticks must fire even under continuous traffic: the stabilizing
@@ -370,12 +472,20 @@ fn node_thread(
             let outs = node.handle(NodeEvent::Tick);
             publish(&node);
             net.send_all(ticks, outs);
+            checkpoint(&node, ticks, &shared);
         }
         let event = match rx.recv_timeout(tick) {
             Ok(Wire::Data { from, msg }) => Some(NodeEvent::Deliver { from, msg }),
             Ok(Wire::Crash) => {
                 shared.dead[id.index()].store(true, Ordering::SeqCst);
-                return;
+                match dead_wait(&rx) {
+                    Some(state) => {
+                        node = resurrect(&cfg, state, &shared);
+                        rebirth(&node, &mut net, &shared, &publish);
+                        None
+                    }
+                    None => return,
+                }
             }
             Ok(Wire::MaliciousCrash(steps)) => {
                 // Arbitrary behavior within capability: spew garbage.
@@ -392,12 +502,29 @@ fn node_thread(
                     std::thread::sleep(tick / 4);
                 }
                 shared.dead[id.index()].store(true, Ordering::SeqCst);
-                return;
+                match dead_wait(&rx) {
+                    Some(state) => {
+                        node = resurrect(&cfg, state, &shared);
+                        rebirth(&node, &mut net, &shared, &publish);
+                        None
+                    }
+                    None => return,
+                }
+            }
+            // A live node ignores restarts: recovery, not preemption.
+            Ok(Wire::Restart(_)) => None,
+            Ok(Wire::PeerReborn(q)) => {
+                // A resurrected neighbor starts a fresh wire epoch:
+                // realign the link so its first messages are not dropped
+                // as stale duplicates of the dead incarnation's stream.
+                node.peer_reborn(q);
+                None
             }
             Ok(Wire::Shutdown) => return,
             Err(RecvTimeoutError::Timeout) => {
                 ticks += 1;
                 net.flush(ticks);
+                checkpoint(&node, ticks, &shared);
                 Some(NodeEvent::Tick)
             }
             Err(RecvTimeoutError::Disconnected) => return,
@@ -408,6 +535,61 @@ fn node_thread(
             net.send_all(ticks, outs);
         }
     }
+}
+
+/// Periodic self-checkpoint into the node's shared snapshot slot.
+fn checkpoint(node: &Node, ticks: u64, shared: &Shared) {
+    if ticks.is_multiple_of(SNAPSHOT_EVERY_TICKS) {
+        let slot = &shared.snaps[node.id().index()];
+        *slot.lock().expect("snapshot slot poisoned") = Some(node.snapshot_bytes());
+    }
+}
+
+/// Halted-node holding pattern: drain the mailbox (a dead node drops
+/// traffic on the floor) until a restart, shutdown, or disconnect. The
+/// thread itself stays parked here so peers' senders stay connected.
+fn dead_wait(rx: &Receiver<Wire>) -> Option<Resurrection> {
+    loop {
+        match rx.recv() {
+            Ok(Wire::Restart(state)) => return Some(state),
+            Ok(Wire::Shutdown) | Err(_) => return None,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Build the reborn node per the resurrection policy.
+fn resurrect(cfg: &NodeConfig, state: Resurrection, shared: &Shared) -> Node {
+    let mut node = Node::new(cfg.clone());
+    match state {
+        Resurrection::Fresh => {}
+        Resurrection::Snapshot { .. } => {
+            // A missing or malformed checkpoint degrades to a fresh
+            // reboot — stabilization makes that safe.
+            let slot = shared.snaps[cfg.id.index()]
+                .lock()
+                .expect("snapshot slot poisoned");
+            if let Some(raw) = slot.as_ref() {
+                let _ = node.restore_bytes(raw);
+            }
+        }
+        Resurrection::Arbitrary { seed } => {
+            let mut r = rng::rng(rng::subseed(seed, 0x5EED));
+            node.corrupt(&mut r);
+        }
+    }
+    node
+}
+
+/// Publish the rebirth: void held-back pre-crash traffic, tell every
+/// peer to reset the link epoch, clear the dead flag, republish state.
+fn rebirth(node: &Node, net: &mut FaultySender, shared: &Shared, publish: &impl Fn(&Node)) {
+    net.held.clear();
+    for (_, tx) in &net.peers {
+        let _ = tx.send(Wire::PeerReborn(node.id()));
+    }
+    shared.dead[node.id().index()].store(false, Ordering::SeqCst);
+    publish(node);
 }
 
 type Shared2 = Arc<Shared>;
@@ -471,6 +653,75 @@ mod tests {
         for p in rt.topology().processes() {
             assert!(rt.meals_of(p) > 0, "{p} starved under the noisy adversary");
         }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn restarted_thread_rejoins_and_eats() {
+        let rt = ThreadRuntime::spawn(Topology::ring(4), Duration::from_micros(200), 5);
+        std::thread::sleep(Duration::from_millis(100));
+        rt.crash(ProcessId(2));
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(rt.is_dead(ProcessId(2)), "crash did not land");
+        let frozen = rt.meals_of(ProcessId(2));
+        rt.restart(ProcessId(2), Resurrection::Fresh);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while (rt.is_dead(ProcessId(2)) || rt.meals_of(ProcessId(2)) <= frozen)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(!rt.is_dead(ProcessId(2)), "restart did not land");
+        assert!(
+            rt.meals_of(ProcessId(2)) > frozen,
+            "reborn thread never ate again"
+        );
+        let violations = rt.observe(Duration::from_millis(200), Duration::from_micros(100));
+        assert_eq!(violations, 0, "exclusion must hold after the rebirth");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn supervised_runtime_revives_a_crashed_thread() {
+        let rt = ThreadRuntime::spawn_supervised(
+            Topology::line(4),
+            Duration::from_micros(200),
+            9,
+            RestartPolicy {
+                probe_timeout: 40,
+                base_backoff: 5,
+                max_backoff: 80,
+                jitter: 3,
+                max_restarts: 4,
+                snapshot_every: 0,
+                resurrection: Resurrection::Snapshot { age: 0 },
+            },
+        );
+        std::thread::sleep(Duration::from_millis(150));
+        rt.crash(ProcessId(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !rt.is_dead(ProcessId(1)) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(rt.is_dead(ProcessId(1)), "crash did not land");
+        // The watchdog notices the silence and restores the node from
+        // its self-checkpoint (or fresh, if none was taken yet).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while rt.is_dead(ProcessId(1)) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(!rt.is_dead(ProcessId(1)), "watchdog never revived p1");
+        assert!(rt.supervisor_restarts() >= 1, "restart must be counted");
+        let frozen = rt.meals_of(ProcessId(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rt.meals_of(ProcessId(1)) <= frozen && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            rt.meals_of(ProcessId(1)) > frozen,
+            "revived thread never ate again"
+        );
+        assert_eq!(rt.supervisor_giveups(), 0, "no budget exhaustion here");
         rt.shutdown();
     }
 

@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use diners_sim::fault::{FaultKind, FaultPlan, Health};
+use diners_sim::fault::{FaultKind, FaultPlan, Health, Resurrection};
 use diners_sim::graph::{ProcessId, Topology};
 use diners_sim::rng;
 use diners_sim::Phase;
@@ -24,6 +24,7 @@ use diners_sim::Phase;
 use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary, NetStats};
 use crate::message::LinkMsg;
 use crate::node::{Node, NodeConfig, NodeEvent};
+use crate::supervisor::{RestartPolicy, Supervisor, SupervisorAction};
 use crate::vclock::{NetTracer, Stamp};
 
 /// Bound on queued messages per link direction. Retransmission pile-up
@@ -73,6 +74,22 @@ pub struct SimNet {
     /// Network causal tracer (None = disabled; observer-effect-free — it
     /// never touches `rng`, the queues' contents or the nodes).
     tracer: Option<Box<NetTracer>>,
+    /// The construction seed (supervisor watchdogs subseed from it).
+    seed: u64,
+    /// Heartbeat watchdog, when [`SimNet::supervise`] was called.
+    supervisor: Option<Box<Supervisor>>,
+    /// Checkpoints scheduled by plan-driven `Restart { Snapshot }`
+    /// events, captured `age` steps before the restart fires.
+    plan_snaps: Vec<PlanSnap>,
+}
+
+/// A plan-scheduled checkpoint for one `Restart { Snapshot }` event.
+#[derive(Clone, Debug)]
+struct PlanSnap {
+    capture_at: u64,
+    fire_at: u64,
+    target: ProcessId,
+    bytes: Option<Vec<u8>>,
 }
 
 impl SimNet {
@@ -113,6 +130,21 @@ impl SimNet {
         for &p in faults.initially_dead_processes() {
             health[p.index()] = Health::Dead;
         }
+        let plan_snaps = faults
+            .events()
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                FaultKind::Restart {
+                    state: Resurrection::Snapshot { age },
+                } => Some(PlanSnap {
+                    capture_at: ev.at_step.saturating_sub(age),
+                    fire_at: ev.at_step,
+                    target: ev.target,
+                    bytes: None,
+                }),
+                _ => None,
+            })
+            .collect();
         SimNet {
             queues: vec![VecDeque::new(); topo.edge_count() * 2],
             nodes,
@@ -129,8 +161,30 @@ impl SimNet {
             net_stats: NetStats::default(),
             shed: 0,
             tracer: None,
+            seed,
+            supervisor: None,
+            plan_snaps,
             topo,
         }
+    }
+
+    /// Attach a heartbeat watchdog: every non-dead node heartbeats each
+    /// step, live nodes are checkpointed on the policy's cadence, and
+    /// crashed nodes are resurrected per `policy` (capped exponential
+    /// backoff, restart budget). The watchdog draws its jitter from a
+    /// stream derived from the construction seed, so supervised runs
+    /// stay exactly reproducible.
+    pub fn supervise(&mut self, policy: RestartPolicy) {
+        self.supervisor = Some(Box::new(Supervisor::new(
+            self.topo.len(),
+            policy,
+            rng::subseed(self.seed, 0x50B5),
+        )));
+    }
+
+    /// The attached watchdog, if any.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_deref()
     }
 
     /// Turn on vector-clock causal tracing (see [`crate::vclock`]).
@@ -257,6 +311,7 @@ impl SimNet {
     /// Execute one event (fault, delivery or tick).
     pub fn step(&mut self) {
         self.apply_due_faults();
+        self.supervisor_tick();
 
         // Candidate events: every queue with a ready (delay-expired)
         // message, plus one tick slot per active node.
@@ -312,6 +367,15 @@ impl SimNet {
     }
 
     fn apply_due_faults(&mut self) {
+        // Capture plan-scheduled checkpoints that fall due this step
+        // (before this step's faults, so a same-step crash cannot
+        // poison the checkpoint).
+        for i in 0..self.plan_snaps.len() {
+            if self.plan_snaps[i].capture_at == self.step && self.plan_snaps[i].bytes.is_none() {
+                let t = self.plan_snaps[i].target;
+                self.plan_snaps[i].bytes = Some(self.nodes[t.index()].snapshot_bytes());
+            }
+        }
         let due: Vec<_> = self.faults.due_at(self.step).copied().collect();
         for ev in due {
             match ev.kind {
@@ -343,7 +407,103 @@ impl SimNet {
                     node.corrupt(&mut self.rng);
                     self.meals_seen[ev.target.index()] = node.meals();
                 }
+                FaultKind::Restart { state } => {
+                    let snap = match state {
+                        Resurrection::Snapshot { .. } => self
+                            .plan_snaps
+                            .iter_mut()
+                            .find(|s| s.fire_at == self.step && s.target == ev.target)
+                            .and_then(|s| s.bytes.take()),
+                        _ => None,
+                    };
+                    self.revive(ev.target, state, snap);
+                }
             }
+        }
+    }
+
+    /// Drive the watchdog one step: heartbeats for every non-dead node,
+    /// checkpoints on the policy cadence, and due restart actions.
+    fn supervisor_tick(&mut self) {
+        let now = self.step;
+        let mut due: Vec<(ProcessId, Resurrection, Option<Vec<u8>>)> = Vec::new();
+        if let Some(sup) = self.supervisor.as_deref_mut() {
+            let snap_now =
+                sup.policy().snapshot_every > 0 && now.is_multiple_of(sup.policy().snapshot_every);
+            for (i, h) in self.health.iter().enumerate() {
+                let p = ProcessId(i);
+                // Byzantine nodes are (malignantly) active: they still
+                // heartbeat, so the watchdog does not burn restart
+                // budget on a process that is not yet restartable.
+                if !h.is_dead() {
+                    sup.heartbeat(now, p);
+                }
+                if snap_now && matches!(h, Health::Live) {
+                    sup.store_snapshot(p, &self.nodes[i].snapshot_bytes());
+                }
+            }
+            for a in sup.poll(now) {
+                if let SupervisorAction::Restart { pid, state } = a {
+                    let snap = match state {
+                        Resurrection::Snapshot { .. } => sup.snapshot_of(pid),
+                        _ => None,
+                    };
+                    due.push((pid, state, snap));
+                }
+            }
+        }
+        for (pid, state, snap) in due {
+            self.revive(pid, state, snap);
+        }
+    }
+
+    /// Resurrect a dead node with `state`-seeded local memory. A no-op
+    /// unless the target is [`Health::Dead`]: live and byzantine
+    /// processes are still running and cannot be "restarted".
+    ///
+    /// The reboot is an *epoch boundary* on every incident link: both
+    /// directions' in-flight traffic (addressed to, or sent by, the dead
+    /// incarnation) is discarded, and both endpoints restart their
+    /// sequence streams from zero ([`Node::peer_reborn`]), so the reborn
+    /// node's first messages are not dropped as stale duplicates. A fork
+    /// token lost with the dead incarnation is regenerated by the link
+    /// master's reconciliation; whatever inconsistency resurrection
+    /// introduces is a transient the algorithm stabilizes from.
+    fn revive(&mut self, p: ProcessId, state: Resurrection, snapshot: Option<Vec<u8>>) {
+        if !self.health[p.index()].is_dead() {
+            return;
+        }
+        let mut node = Node::new(NodeConfig {
+            id: p,
+            neighbors: self.topo.neighbors(p).to_vec(),
+            diameter: self.topo.diameter(),
+        });
+        match state {
+            Resurrection::Fresh => {}
+            Resurrection::Snapshot { .. } => {
+                // A missing or corrupt checkpoint degrades to a fresh
+                // reboot — stabilization makes that safe.
+                if let Some(raw) = snapshot {
+                    let _ = node.restore_bytes(&raw);
+                }
+            }
+            Resurrection::Arbitrary { seed } => {
+                let mut r = rng::rng(rng::subseed(seed, 0x5EED));
+                node.corrupt(&mut r);
+            }
+        }
+        self.health[p.index()] = Health::Live;
+        self.meals_seen[p.index()] = node.meals();
+        self.nodes[p.index()] = node;
+        let neighbors = self.topo.neighbors(p).to_vec();
+        for q in neighbors {
+            self.nodes[q.index()].peer_reborn(p);
+            let e = self
+                .topo
+                .edge_between(p, q)
+                .expect("neighbors share an edge");
+            self.queues[e.index() * 2].clear();
+            self.queues[e.index() * 2 + 1].clear();
         }
     }
 
@@ -755,6 +915,194 @@ mod tests {
             assert!(
                 net.meals_in_window(p, healed_at, net.step_count()) > 0,
                 "{p} starved after the partition healed"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_restart_resurrects_a_crashed_node() {
+        let mut net = SimNet::new(
+            Topology::ring(5),
+            FaultPlan::new().crash(5_000, 2).restart_fresh(20_000, 2),
+            3,
+        );
+        net.run(12_000);
+        assert!(net.is_dead(ProcessId(2)), "crash did not land");
+        let meals_dead = net.meals_of(ProcessId(2));
+        net.run(80_000);
+        assert!(!net.is_dead(ProcessId(2)), "restart did not land");
+        assert!(
+            net.meals_of(ProcessId(2)) > meals_dead,
+            "reborn node never ate again"
+        );
+        // A restart is recovery, not a new fault: once the transients
+        // settle, every node is in service.
+        for p in net.topology().processes() {
+            assert!(
+                net.meals_in_window(p, 40_000, net.step_count()) > 0,
+                "{p} starved after recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_snapshot_restart_restores_meal_counter() {
+        // Checkpoint 1_000 steps before the restart fires — i.e. well
+        // before the crash at 10_000 — so the reborn node resumes from
+        // its pre-crash protocol state (meals included).
+        let mut net = SimNet::new(
+            Topology::ring(5),
+            FaultPlan::new()
+                .crash(10_000, 1)
+                .restart_snapshot(10_500, 1, 1_000),
+            9,
+        );
+        net.run(9_500);
+        let meals_at_capture = net.meals_of(ProcessId(1));
+        assert!(meals_at_capture > 0, "no meals before the checkpoint");
+        net.run(70_000);
+        assert!(!net.is_dead(ProcessId(1)));
+        assert!(
+            net.meals_of(ProcessId(1)) > meals_at_capture,
+            "restored node must keep its checkpointed meals and add more"
+        );
+    }
+
+    #[test]
+    fn plan_arbitrary_restart_stabilizes() {
+        for seed in 0..4 {
+            let mut net = SimNet::new(
+                Topology::line(4),
+                FaultPlan::new()
+                    .crash(5_000, 1)
+                    .restart_arbitrary(15_000, 1, 1_000 + seed),
+                seed,
+            );
+            net.run(40_000);
+            let settled = net.step_count();
+            net.run(60_000);
+            assert!(!net.is_dead(ProcessId(1)));
+            for p in net.topology().processes() {
+                assert!(
+                    net.meals_in_window(p, settled, net.step_count()) > 0,
+                    "seed {seed}: {p} starved after arbitrary-state rebirth"
+                );
+            }
+            assert_eq!(
+                net.last_violation().map_or(0, |v| u64::from(v >= settled)),
+                0,
+                "seed {seed}: exclusion violated after stabilization window"
+            );
+        }
+    }
+
+    #[test]
+    fn restart_of_a_live_node_is_a_no_op() {
+        let mut a = SimNet::new(Topology::ring(4), FaultPlan::none(), 21);
+        let mut b = SimNet::new(
+            Topology::ring(4),
+            FaultPlan::new().restart_fresh(3_000, 2),
+            21,
+        );
+        a.run(20_000);
+        b.run(20_000);
+        for p in a.topology().processes() {
+            assert_eq!(a.meals_of(p), b.meals_of(p), "{p} diverged");
+            assert_eq!(a.phase_of(p), b.phase_of(p), "{p} phase diverged");
+        }
+    }
+
+    #[test]
+    fn supervisor_resurrects_a_crashed_node() {
+        let mut net = SimNet::new(Topology::ring(5), FaultPlan::new().crash(8_000, 3), 5);
+        net.supervise(RestartPolicy {
+            probe_timeout: 200,
+            base_backoff: 50,
+            max_backoff: 800,
+            jitter: 10,
+            max_restarts: 4,
+            snapshot_every: 500,
+            resurrection: Resurrection::Fresh,
+        });
+        net.run(60_000);
+        assert!(!net.is_dead(ProcessId(3)), "watchdog never revived p3");
+        let sup = net.supervisor().expect("supervisor attached");
+        assert_eq!(sup.restarts_of(ProcessId(3)), 1, "one crash, one restart");
+        assert_eq!(sup.total_giveups(), 0);
+        let since = net.step_count();
+        net.run(40_000);
+        for p in net.topology().processes() {
+            assert!(
+                net.meals_in_window(p, since, net.step_count()) > 0,
+                "{p} starved after supervised recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn supervisor_snapshot_resurrection_restores_state() {
+        let mut net = SimNet::new(Topology::ring(4), FaultPlan::new().crash(10_000, 2), 11);
+        net.supervise(RestartPolicy {
+            probe_timeout: 150,
+            base_backoff: 40,
+            max_backoff: 600,
+            jitter: 5,
+            max_restarts: 4,
+            snapshot_every: 400,
+            resurrection: Resurrection::Snapshot { age: 0 },
+        });
+        // The last checkpoint before the crash lands at step 9_600
+        // (cadence 400); sample the meal counter exactly there.
+        net.run(9_600);
+        let meals_before_crash = net.meals_of(ProcessId(2));
+        assert!(meals_before_crash > 0, "no meals before the crash");
+        net.run(60_000);
+        assert!(!net.is_dead(ProcessId(2)));
+        assert!(
+            net.meals_of(ProcessId(2)) >= meals_before_crash,
+            "snapshot resurrection lost the checkpointed meal counter"
+        );
+        assert!(
+            net.meals_of(ProcessId(2)) > meals_before_crash,
+            "reborn node never ate again"
+        );
+    }
+
+    #[test]
+    fn supervisor_budget_exhaustion_abandons_a_crash_looping_node() {
+        // Crash p1 over and over: every supervised rebirth is killed
+        // again before it can be useful. The watchdog must spend its
+        // budget and then abandon the node instead of thrashing forever.
+        let mut plan = FaultPlan::new();
+        for k in 0..40 {
+            plan = plan.crash(2_000 + 1_500 * k, 0);
+        }
+        let mut net = SimNet::new(Topology::line(6), plan, 13);
+        net.supervise(RestartPolicy {
+            probe_timeout: 100,
+            base_backoff: 30,
+            max_backoff: 300,
+            jitter: 5,
+            max_restarts: 3,
+            snapshot_every: 0,
+            resurrection: Resurrection::Fresh,
+        });
+        net.run(80_000);
+        let sup = net.supervisor().expect("supervisor attached");
+        assert_eq!(sup.restarts_of(ProcessId(0)), 3, "budget is max_restarts");
+        assert!(
+            sup.abandoned(ProcessId(0)),
+            "crash-looper must be abandoned"
+        );
+        assert_eq!(sup.total_giveups(), 1);
+        assert!(net.is_dead(ProcessId(0)), "abandoned node stays dead");
+        // Failure locality: distant nodes still get service.
+        let since = net.step_count();
+        net.run(40_000);
+        for p in [3, 4, 5] {
+            assert!(
+                net.meals_in_window(ProcessId(p), since, net.step_count()) > 0,
+                "p{p} starved though far from the abandoned node"
             );
         }
     }

@@ -42,7 +42,7 @@ use std::hash::Hash;
 use rand::rngs::StdRng;
 
 use crate::algorithm::{ActionId, DinerAlgorithm, Move, Phase, SystemState, View, Write};
-use crate::fault::{FaultKind, FaultPlan, Health};
+use crate::fault::{FaultKind, FaultPlan, Health, Resurrection};
 use crate::graph::{ProcessId, Topology};
 use crate::metrics::DinerMetrics;
 use crate::predicate::{Snapshot, StatePredicate};
@@ -79,6 +79,7 @@ struct TelemetryState {
     action_fires: Vec<CounterId>,
     malicious_steps: CounterId,
     faults: CounterId,
+    restarts: CounterId,
     phase_changes: CounterId,
     /// Steps spent hungry before each transition into `Eating`.
     hungry_to_eat: HistogramId,
@@ -94,6 +95,7 @@ impl TelemetryState {
             .collect();
         let malicious_steps = reg.counter("engine.malicious_steps");
         let faults = reg.counter("engine.faults");
+        let restarts = reg.counter("engine.restarts");
         let phase_changes = reg.counter("engine.phase_changes");
         let hungry_to_eat = reg.histogram("engine.hungry_to_eat_steps");
         Box::new(TelemetryState {
@@ -101,6 +103,7 @@ impl TelemetryState {
             action_fires,
             malicious_steps,
             faults,
+            restarts,
             phase_changes,
             hungry_to_eat,
         })
@@ -411,6 +414,22 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
         let tracer = self
             .tracing
             .then(|| Box::new(CausalTracer::new(&self.topo)));
+        // Schedule one checkpoint capture per snapshot restart, `age`
+        // steps before the restart fires (clamped at the run start).
+        let mut snap_schedule: Vec<(u64, usize)> = self
+            .faults
+            .events()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ev)| match ev.kind {
+                FaultKind::Restart {
+                    state: Resurrection::Snapshot { age },
+                } => Some((ev.at_step.saturating_sub(age), i)),
+                _ => None,
+            })
+            .collect();
+        snap_schedule.sort_unstable();
+        let snapshots = vec![None; self.faults.events().len()];
         let mut engine = Engine {
             metrics: DinerMetrics::new(n),
             last_phase: (0..n)
@@ -445,6 +464,9 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
             telemetry,
             recorder,
             tracer,
+            snap_schedule,
+            snap_cursor: 0,
+            snapshots,
         };
         let (total, live) = engine.eating_pairs_scan();
         engine.eat_pairs_total = total;
@@ -507,6 +529,15 @@ pub struct Engine<A: DinerAlgorithm> {
     recorder: Option<Box<RecorderState<A>>>,
     /// Causal tracer (None = disabled; same pattern as telemetry).
     tracer: Option<Box<CausalTracer>>,
+    /// Checkpoint schedule for snapshot restarts: `(capture_step, event
+    /// index)` pairs sorted by step. Derived from the fault plan at build
+    /// time, so each needed snapshot is captured exactly once.
+    snap_schedule: Vec<(u64, usize)>,
+    /// Cursor into `snap_schedule` — everything before it was captured.
+    snap_cursor: usize,
+    /// Captured local-state checkpoints, indexed like `faults.events()`
+    /// (filled only for snapshot-restart events).
+    snapshots: Vec<Option<A::Local>>,
 }
 
 impl<A: DinerAlgorithm> Engine<A> {
@@ -1007,8 +1038,36 @@ impl<A: DinerAlgorithm> Engine<A> {
         }
     }
 
+    /// Counter fix-up for a dead process coming back: eating pairs it
+    /// shared with a dead eating neighbor count as live again. Call with
+    /// `self.health[p]` already `Live` and `last_phase[p]` still
+    /// reflecting `p`'s frozen phase at death (the exact mirror of
+    /// [`Engine::on_process_died`]).
+    fn on_process_revived(&mut self, p: ProcessId) {
+        if self.last_phase[p.index()] != Phase::Eating {
+            return;
+        }
+        let topo = &self.topo;
+        for &q in topo.neighbors(p) {
+            if self.last_phase[q.index()] == Phase::Eating && self.health[q.index()].is_dead() {
+                self.eat_pairs_live += 1;
+            }
+        }
+    }
+
     fn apply_due_faults(&mut self) {
         let step = self.step;
+        // Capture any local-state checkpoints due at (or before) this
+        // step, ahead of the faults: a same-step kill must not scribble
+        // on the checkpoint a later restart restores.
+        while let Some(&(at, idx)) = self.snap_schedule.get(self.snap_cursor) {
+            if at > step {
+                break;
+            }
+            let target = self.faults.events()[idx].target;
+            self.snapshots[idx] = Some(self.state.local(target).clone());
+            self.snap_cursor += 1;
+        }
         let (start, end) = self.faults.due_span(self.fault_cursor, step);
         self.fault_cursor = end;
         for i in start..end {
@@ -1053,6 +1112,40 @@ impl<A: DinerAlgorithm> Engine<A> {
                     self.update_eating_pairs(ev.target, before, after);
                     self.last_phase[ev.target.index()] = after;
                     self.mark_dirty_closed(ev.target);
+                }
+                FaultKind::Restart { state } => {
+                    if self.health[ev.target.index()].is_dead() {
+                        self.health[ev.target.index()] = Health::Live;
+                        self.on_process_revived(ev.target);
+                        match state {
+                            Resurrection::Fresh => {
+                                *self.state.local_mut(ev.target) =
+                                    self.alg.init_local(&self.topo, ev.target);
+                            }
+                            Resurrection::Snapshot { .. } => {
+                                if let Some(snap) = self.snapshots[i].clone() {
+                                    *self.state.local_mut(ev.target) = snap;
+                                }
+                            }
+                            Resurrection::Arbitrary { seed } => {
+                                let mut r = rng::rng(rng::subseed(seed, 0x5EED));
+                                self.state
+                                    .corrupt_process(&self.alg, &self.topo, &mut r, ev.target);
+                            }
+                        }
+                        let before = self.last_phase[ev.target.index()];
+                        let after = self.alg.phase(self.state.local(ev.target));
+                        self.update_eating_pairs(ev.target, before, after);
+                        self.last_phase[ev.target.index()] = after;
+                        // The resurrected state is neighbor-visible (unlike
+                        // the health flip), so the whole closed neighborhood
+                        // re-enumerates.
+                        self.mark_dirty_closed(ev.target);
+                        if let Some(ts) = self.telemetry.as_deref_mut() {
+                            let id = ts.restarts;
+                            ts.tele.registry_mut().inc(id);
+                        }
+                    }
                 }
             }
             self.trace.record(Event {
@@ -1625,5 +1718,182 @@ mod tests {
     fn default_mode_is_incremental() {
         let e = toy_engine(3);
         assert_eq!(e.enumeration_mode(), EnumerationMode::Incremental);
+    }
+
+    #[test]
+    fn restart_revives_a_crashed_process() {
+        let mut e = Engine::builder(ToyDiners, Topology::line(4))
+            .faults(FaultPlan::new().crash(10, 0).restart_fresh(100, 0))
+            .record_trace(true)
+            .telemetry(Telemetry::new())
+            .build();
+        e.run(2_000);
+        assert!(!e.is_dead(ProcessId(0)), "restart did not land");
+        assert!(e.dead_processes().is_empty());
+        // The reborn process acts again.
+        let acted_after = e
+            .trace()
+            .actions_of(ProcessId(0))
+            .into_iter()
+            .filter(|(s, _)| *s >= 100)
+            .count();
+        assert!(acted_after > 0, "reborn process never acted");
+        assert_eq!(
+            e.telemetry()
+                .and_then(|t| t.registry().counter_value("engine.restarts")),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn same_step_crash_restart_nets_to_immediate_rebirth() {
+        // Restarts order after kills at the same step (fault.rs), so the
+        // pair applies as crash-then-revive within one step.
+        let mut e = Engine::builder(ToyDiners, Topology::line(3))
+            .faults(FaultPlan::new().crash(50, 1).restart_fresh(50, 1))
+            .record_trace(true)
+            .build();
+        e.run(500);
+        assert!(!e.is_dead(ProcessId(1)));
+        assert!(
+            e.trace()
+                .actions_of(ProcessId(1))
+                .into_iter()
+                .any(|(s, _)| s >= 50),
+            "process must keep acting after the same-step crash+restart"
+        );
+    }
+
+    #[test]
+    fn restart_of_a_live_process_is_a_no_op() {
+        let build = |faults| {
+            Engine::builder(ToyDiners, Topology::ring(5))
+                .scheduler(RandomScheduler::new(3))
+                .faults(faults)
+                .seed(3)
+                .build()
+        };
+        let mut a = build(FaultPlan::none());
+        let mut b = build(FaultPlan::new().restart_fresh(100, 2));
+        a.run(1_000);
+        b.run(1_000);
+        assert_eq!(a.state(), b.state(), "no-op restart perturbed the run");
+        assert_eq!(a.health(), b.health());
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn snapshot_restart_restores_the_checkpointed_local() {
+        // Quota workload quiesces after one meal each, freezing locals.
+        // The checkpoint (age 350 before the restart at 900) lands at
+        // step 550 — before the transient corrupts the victim at 600 —
+        // so the resurrected local must equal the step-550 value even
+        // though the victim died holding corrupted state.
+        let mut e = Engine::builder(ToyDiners, Topology::line(3))
+            .workload(QuotaWorkload::uniform(3, 1))
+            .scheduler(RandomScheduler::new(1))
+            .seed(9)
+            .faults(
+                FaultPlan::new()
+                    .transient_local(600, 1)
+                    .crash(700, 1)
+                    .restart_snapshot(900, 1, 350),
+            )
+            .build();
+        e.run(550);
+        let checkpointed = *e.state().local(ProcessId(1));
+        e.run(200); // corrupted at 600, dead at 700
+        assert!(e.is_dead(ProcessId(1)));
+        e.run(300); // restored at 900
+        assert!(!e.is_dead(ProcessId(1)));
+        assert_eq!(
+            e.state().local(ProcessId(1)),
+            &checkpointed,
+            "snapshot resurrection must restore the checkpointed local"
+        );
+    }
+
+    #[test]
+    fn arbitrary_restart_is_deterministic_in_its_own_seed() {
+        let build = |restart_seed| {
+            Engine::builder(ToyDiners, Topology::ring(5))
+                .scheduler(RandomScheduler::new(2))
+                .seed(2)
+                .faults(
+                    FaultPlan::new()
+                        .crash(100, 3)
+                        .restart_arbitrary(200, 3, restart_seed),
+                )
+                .build()
+        };
+        let mut a = build(77);
+        let mut b = build(77);
+        a.run(201);
+        b.run(201);
+        assert_eq!(a.state(), b.state(), "same seed must resurrect equally");
+        // The resurrection stream is its own: across seeds, at least one
+        // rebirth lands in a different local state.
+        let differs = (0..8u64).any(|s| {
+            let mut c = build(1_000 + s);
+            c.run(201);
+            c.state().local(ProcessId(3)) != a.state().local(ProcessId(3))
+        });
+        assert!(differs, "arbitrary resurrection ignored its seed");
+    }
+
+    #[test]
+    fn eating_pair_counters_survive_crash_restart_storms() {
+        for seed in 0..6 {
+            let mut e = Engine::builder(ToyDiners, Topology::ring(6))
+                .scheduler(RandomScheduler::new(seed))
+                .seed(seed)
+                .faults(
+                    FaultPlan::new()
+                        .crash(50, 1)
+                        .restart_fresh(150, 1)
+                        .malicious_crash(200, 4, 5)
+                        .restart_arbitrary(350, 4, seed)
+                        .crash(400, 2)
+                        .restart_snapshot(520, 2, 60),
+                )
+                .build();
+            for _ in 0..700 {
+                e.step();
+                assert_eq!(
+                    e.eating_pairs(),
+                    e.eating_pairs_scan(),
+                    "counter drifted from scan at step {} (seed {seed})",
+                    e.step_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_a_restart_heavy_run() {
+        let build = |mode| {
+            Engine::builder(ToyDiners, Topology::ring(5))
+                .scheduler(RandomScheduler::new(11))
+                .faults(
+                    FaultPlan::new()
+                        .malicious_crash(15, 2, 4)
+                        .restart_fresh(90, 2)
+                        .crash(40, 0)
+                        .restart_arbitrary(160, 0, 5)
+                        .crash(220, 3)
+                        .restart_snapshot(300, 3, 100),
+                )
+                .enumeration(mode)
+                .seed(11)
+                .build()
+        };
+        let mut a = build(EnumerationMode::Naive);
+        let mut b = build(EnumerationMode::Incremental);
+        for step in 0..600 {
+            assert_eq!(a.step(), b.step(), "diverged at step {step}");
+        }
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.health(), b.health());
+        assert_eq!(a.metrics(), b.metrics());
     }
 }

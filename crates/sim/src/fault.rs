@@ -55,6 +55,42 @@ impl Health {
     }
 }
 
+/// How a restarted process re-seeds its local state.
+///
+/// Stabilization makes every variant sound: the algorithm converges to the
+/// invariant `I` from *any* state, so a resurrected process — whatever it
+/// wakes up with — is re-absorbed with disturbance bounded by the failure
+/// locality. The variants differ only in how long re-absorption takes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resurrection {
+    /// Restart from the algorithm's legitimate initial local state
+    /// (a clean reboot with no persisted state).
+    Fresh,
+    /// Restart from a checkpoint of the process's own local state captured
+    /// `age` steps *before the restart fires* (a warm reboot from a
+    /// possibly-stale snapshot; `age = 0` resumes the state at death).
+    Snapshot {
+        /// Staleness of the restored checkpoint, in engine steps.
+        age: u64,
+    },
+    /// Restart with fully arbitrary local state drawn from a dedicated
+    /// RNG stream keyed by `seed` (the worst case stabilization covers).
+    Arbitrary {
+        /// Seed of the corruption stream, independent of the run seed.
+        seed: u64,
+    },
+}
+
+impl fmt::Display for Resurrection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resurrection::Fresh => write!(f, "fresh"),
+            Resurrection::Snapshot { age } => write!(f, "snapshot:{age}"),
+            Resurrection::Arbitrary { seed } => write!(f, "arbitrary:{seed}"),
+        }
+    }
+}
+
 /// The kind of an injected fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
@@ -71,6 +107,13 @@ pub enum FaultKind {
     TransientGlobal,
     /// Transient fault corrupting only the target process's local state.
     TransientLocal,
+    /// Recovery event: re-enable a dead target, re-seeding its local
+    /// state per [`Resurrection`]. A no-op unless the target is dead —
+    /// restarting an active process must not disturb it.
+    Restart {
+        /// How the resurrected process's state is re-seeded.
+        state: Resurrection,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -80,6 +123,7 @@ impl fmt::Display for FaultKind {
             FaultKind::MaliciousCrash { steps } => write!(f, "malicious-crash({steps})"),
             FaultKind::TransientGlobal => write!(f, "transient-global"),
             FaultKind::TransientLocal => write!(f, "transient-local"),
+            FaultKind::Restart { state } => write!(f, "restart({state})"),
         }
     }
 }
@@ -189,6 +233,37 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a restart: if the target is dead at `at_step`, re-enable
+    /// it with its local state re-seeded per `state`.
+    #[must_use]
+    pub fn restart(mut self, at_step: u64, pid: impl Into<ProcessId>, state: Resurrection) -> Self {
+        self.events.push(FaultEvent {
+            at_step,
+            target: pid.into(),
+            kind: FaultKind::Restart { state },
+        });
+        self.normalize();
+        self
+    }
+
+    /// Schedule a restart from the legitimate initial local state.
+    #[must_use]
+    pub fn restart_fresh(self, at_step: u64, pid: impl Into<ProcessId>) -> Self {
+        self.restart(at_step, pid, Resurrection::Fresh)
+    }
+
+    /// Schedule a restart from a checkpoint `age` steps old.
+    #[must_use]
+    pub fn restart_snapshot(self, at_step: u64, pid: impl Into<ProcessId>, age: u64) -> Self {
+        self.restart(at_step, pid, Resurrection::Snapshot { age })
+    }
+
+    /// Schedule a restart with arbitrary local state drawn from `seed`.
+    #[must_use]
+    pub fn restart_arbitrary(self, at_step: u64, pid: impl Into<ProcessId>, seed: u64) -> Self {
+        self.restart(at_step, pid, Resurrection::Arbitrary { seed })
+    }
+
     /// Start the run from a fully arbitrary state (the canonical
     /// stabilization experiment). The corruption is drawn from the
     /// engine's seeded RNG.
@@ -253,6 +328,14 @@ impl FaultPlan {
         victims.len()
     }
 
+    /// Number of scheduled restart events.
+    pub fn restart_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Restart { .. }))
+            .count()
+    }
+
     fn normalize(&mut self) {
         self.events
             .sort_by_key(|e| (e.at_step, e.target, kind_rank(e.kind)));
@@ -265,6 +348,9 @@ fn kind_rank(k: FaultKind) -> u8 {
         FaultKind::TransientLocal => 1,
         FaultKind::MaliciousCrash { .. } => 2,
         FaultKind::Crash => 3,
+        // Restarts sort after kills at the same step, so a same-step
+        // crash→restart pair nets out to an immediate resurrection.
+        FaultKind::Restart { .. } => 4,
     }
 }
 
@@ -360,5 +446,51 @@ mod tests {
             "malicious-crash(7)"
         );
         assert_eq!(FaultKind::TransientGlobal.to_string(), "transient-global");
+        assert_eq!(
+            FaultKind::Restart {
+                state: Resurrection::Fresh
+            }
+            .to_string(),
+            "restart(fresh)"
+        );
+        assert_eq!(
+            FaultKind::Restart {
+                state: Resurrection::Snapshot { age: 32 }
+            }
+            .to_string(),
+            "restart(snapshot:32)"
+        );
+        assert_eq!(
+            FaultKind::Restart {
+                state: Resurrection::Arbitrary { seed: 9 }
+            }
+            .to_string(),
+            "restart(arbitrary:9)"
+        );
+    }
+
+    #[test]
+    fn restart_builders_and_count() {
+        let p = FaultPlan::new()
+            .crash(10, 1)
+            .restart_fresh(20, 1)
+            .restart_snapshot(30, 1, 8)
+            .restart_arbitrary(40, 1, 7);
+        assert_eq!(p.restart_count(), 3);
+        // Restarts do not count as kills.
+        assert_eq!(p.kill_count(), 1);
+        assert_eq!(
+            p.events()[1].kind,
+            FaultKind::Restart {
+                state: Resurrection::Fresh
+            }
+        );
+    }
+
+    #[test]
+    fn same_step_crash_restart_orders_kill_first() {
+        let p = FaultPlan::new().restart_fresh(10, 1).crash(10, 1);
+        assert_eq!(p.events()[0].kind, FaultKind::Crash);
+        assert!(matches!(p.events()[1].kind, FaultKind::Restart { .. }));
     }
 }

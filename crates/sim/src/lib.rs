@@ -71,7 +71,7 @@ pub use algorithm::{
     ActionId, ActionKind, Algorithm, DinerAlgorithm, Move, Phase, SystemState, View, Write,
 };
 pub use engine::{Engine, EnumerationMode, RunSummary, StepOutcome};
-pub use fault::{FaultKind, FaultPlan, Health};
+pub use fault::{FaultKind, FaultPlan, Health, Resurrection};
 pub use graph::{EdgeId, ProcessId, Topology};
 pub use predicate::{Snapshot, StatePredicate};
 pub use record::{

@@ -12,17 +12,18 @@
 //! follows the recorded picks, so the RNG stream, metrics, traces and
 //! telemetry all reproduce by construction rather than by re-emission.
 //!
-//! # Recording format (version 1)
+//! # Recording format (version 2)
 //!
 //! One JSON object per line ([`Recording::to_jsonl`] /
 //! [`Recording::parse`]); the first non-empty line is the header:
 //!
 //! ```text
-//! {"v":1,"kind":"header","algorithm":"toy","scheduler":"random", ...}
+//! {"v":2,"kind":"header","algorithm":"toy","scheduler":"random", ...}
 //! {"kind":"move","step":0,"pid":4,"k":2,"slot":1,"needs":true}
 //! {"kind":"malicious","step":1,"pid":3}
 //! {"kind":"quiescent","step":2}
 //! {"kind":"fault","step":3,"pid":3,"fault":"crash"}
+//! {"kind":"fault","step":9,"pid":3,"fault":"restart(snapshot:4)"}
 //! {"kind":"checkpoint","step":256,"digest":1234567890}
 //! ```
 //!
@@ -32,6 +33,12 @@
 //! existing field is interpreted; parsers reject unknown versions and
 //! unknown line kinds, but ignore unknown *fields* so additive growth is
 //! backwards-compatible.
+//!
+//! Version 2 adds restart fault kinds (`restart(fresh)`,
+//! `restart(snapshot:AGE)`, `restart(arbitrary:SEED)`) to the fault plan
+//! and fault log. Version 1 recordings still parse and replay
+//! bit-identically — they simply cannot carry restart events, and the
+//! parser rejects restart kinds under a `"v":1` header.
 
 use std::cell::RefCell;
 use std::hash::{Hash, Hasher};
@@ -39,7 +46,7 @@ use std::rc::Rc;
 
 use crate::algorithm::{DinerAlgorithm, SystemState};
 use crate::engine::{Engine, EngineBuilder, EnumerationMode, StepOutcome};
-use crate::fault::{FaultKind, FaultPlan, Health};
+use crate::fault::{FaultKind, FaultPlan, Health, Resurrection};
 use crate::fingerprint::Fx64;
 use crate::graph::{ProcessId, Topology};
 use crate::scheduler::{EnabledMove, Scheduler};
@@ -48,7 +55,10 @@ use crate::workload::Workload;
 
 /// The recording format version this build writes (see module docs for
 /// the versioning policy).
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version the parser still accepts.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// What the scheduler decided at one step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -351,7 +361,7 @@ impl Recording {
                     return Err(err("first record must be the header"));
                 }
                 let v = num("v")? as u32;
-                if v != FORMAT_VERSION {
+                if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&v) {
                     return Err(err(&format!("unknown format version {v}")));
                 }
                 rec = Some(parse_header(line, v, &err)?);
@@ -403,6 +413,9 @@ impl Recording {
                     let kind = json_field(line, "fault")
                         .ok_or_else(|| err("missing \"fault\""))
                         .and_then(|s| parse_fault_kind(s).ok_or_else(|| err("bad \"fault\"")))?;
+                    if rec.version < 2 && matches!(kind, FaultKind::Restart { .. }) {
+                        return Err(err("restart events require format version 2"));
+                    }
                     rec.fault_log.push(RecordedFault {
                         step: num("step")?,
                         target: ProcessId(num("pid")? as usize),
@@ -443,7 +456,24 @@ fn parse_fault_kind(s: &str) -> Option<FaultKind> {
         "crash" => Some(FaultKind::Crash),
         "transient-global" => Some(FaultKind::TransientGlobal),
         "transient-local" => Some(FaultKind::TransientLocal),
+        "restart(fresh)" => Some(FaultKind::Restart {
+            state: Resurrection::Fresh,
+        }),
         _ => {
+            if let Some(body) = s.strip_prefix("restart(").and_then(|r| r.strip_suffix(')')) {
+                let state = if let Some(age) = body.strip_prefix("snapshot:") {
+                    Resurrection::Snapshot {
+                        age: age.parse().ok()?,
+                    }
+                } else if let Some(seed) = body.strip_prefix("arbitrary:") {
+                    Resurrection::Arbitrary {
+                        seed: seed.parse().ok()?,
+                    }
+                } else {
+                    return None;
+                };
+                return Some(FaultKind::Restart { state });
+            }
             let steps = s
                 .strip_prefix("malicious-crash(")?
                 .strip_suffix(')')?
@@ -572,6 +602,12 @@ fn parse_header(
             FaultKind::MaliciousCrash { steps } => faults.malicious_crash(at, target, steps),
             FaultKind::TransientGlobal => faults.transient_global(at),
             FaultKind::TransientLocal => faults.transient_local(at, target),
+            FaultKind::Restart { state } => {
+                if version < 2 {
+                    return Err(err("restart events require format version 2"));
+                }
+                faults.restart(at, target, state)
+            }
         };
     }
     Ok(Recording {
@@ -895,7 +931,7 @@ mod tests {
                 "first record must be the header",
             ),
             (
-                header.replace("\"v\":1", "\"v\":9"),
+                header.replace("\"v\":2", "\"v\":9"),
                 "unknown format version 9",
             ),
             (format!("{header}\nnot-json"), "not a JSON object"),
@@ -937,11 +973,90 @@ mod tests {
             FaultKind::MaliciousCrash { steps: 0 },
             FaultKind::TransientGlobal,
             FaultKind::TransientLocal,
+            FaultKind::Restart {
+                state: Resurrection::Fresh,
+            },
+            FaultKind::Restart {
+                state: Resurrection::Snapshot { age: 12 },
+            },
+            FaultKind::Restart {
+                state: Resurrection::Arbitrary { seed: 31 },
+            },
         ] {
             assert_eq!(parse_fault_kind(&k.to_string()), Some(k));
         }
         assert_eq!(parse_fault_kind("meteor"), None);
         assert_eq!(parse_fault_kind("malicious-crash(x)"), None);
+        assert_eq!(parse_fault_kind("restart(warm)"), None);
+        assert_eq!(parse_fault_kind("restart(snapshot:x)"), None);
+    }
+
+    fn recorded_recovery_run(steps: u64) -> Recording {
+        let mut e = Engine::builder(ToyDiners, Topology::ring(6))
+            .scheduler(RandomScheduler::new(11))
+            .faults(
+                FaultPlan::new()
+                    .crash(30, 1)
+                    .restart_snapshot(70, 1, 8)
+                    .malicious_crash(100, 3, 4)
+                    .restart_arbitrary(150, 3, 77)
+                    .crash(180, 5)
+                    .restart_fresh(220, 5),
+            )
+            .seed(11)
+            .flight_recorder("toy")
+            .build();
+        e.run(steps);
+        e.recording().expect("recorder attached")
+    }
+
+    #[test]
+    fn v2_round_trips_and_replays_restart_events() {
+        let rec = recorded_recovery_run(300);
+        assert_eq!(rec.version, FORMAT_VERSION);
+        assert!(
+            rec.fault_log
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::Restart { .. })),
+            "recovery run must log restart firings"
+        );
+        let text = rec.to_jsonl();
+        assert!(text.contains("restart(snapshot:8)"), "{text}");
+        let back = Recording::parse(&text).expect("parse back");
+        assert_eq!(back, rec);
+        assert_eq!(back.to_jsonl(), text);
+        let (engine, verified) =
+            Replayer::run(&rec, ToyDiners, AlwaysHungry).expect("replay verifies");
+        assert_eq!(engine.step_count(), 300);
+        assert!(verified >= 2);
+    }
+
+    #[test]
+    fn v1_recordings_still_parse_and_replay_bit_identically() {
+        // A restart-free run is exactly what a v1 writer produced; only
+        // the header version differs.
+        let rec = recorded_run(300);
+        let v1_text = rec.to_jsonl().replace("\"v\":2", "\"v\":1");
+        let v1 = Recording::parse(&v1_text).expect("v1 parses");
+        assert_eq!(v1.version, 1);
+        // The carried version round-trips byte-identically.
+        assert_eq!(v1.to_jsonl(), v1_text);
+        // And replays to the same final state as the v2 twin.
+        let (e1, _) = Replayer::run(&v1, ToyDiners, AlwaysHungry).expect("v1 replays");
+        let (e2, _) = Replayer::run(&rec, ToyDiners, AlwaysHungry).expect("v2 replays");
+        assert_eq!(
+            state_digest(e1.state(), e1.health()),
+            state_digest(e2.state(), e2.health()),
+            "v1 and v2 replays must agree bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn v1_header_rejects_restart_events() {
+        let rec = recorded_recovery_run(250);
+        let v1_text = rec.to_jsonl().replace("\"v\":2", "\"v\":1");
+        let e = Recording::parse(&v1_text).expect_err("restarts are v2-only");
+        assert!(e.contains("restart events require format version 2"), "{e}");
     }
 
     #[test]

@@ -252,7 +252,10 @@ impl CausalTracer {
             parents: Vec::new(),
         });
         match kind {
-            FaultKind::Crash | FaultKind::MaliciousCrash { .. } | FaultKind::TransientLocal => {
+            FaultKind::Crash
+            | FaultKind::MaliciousCrash { .. }
+            | FaultKind::TransientLocal
+            | FaultKind::Restart { .. } => {
                 self.last_local[target.index()] = Some(id);
             }
             FaultKind::TransientGlobal => {

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use diners_sim::algorithm::{ActionId, ActionKind, Algorithm, DinerAlgorithm, Phase, View, Write};
+use diners_sim::codec::{phase_from_bits, phase_to_bits, StateCodec};
 use diners_sim::graph::{EdgeId, ProcessId, Topology};
 
 /// The greedy no-priority diner; see the module docs.
@@ -99,6 +100,37 @@ impl Algorithm for GreedyDiners {
 impl DinerAlgorithm for GreedyDiners {
     fn phase(&self, local: &Phase) -> Phase {
         *local
+    }
+}
+
+/// 2 bits per process (the phase), nothing per edge. Greedy's guards
+/// mention only neighbor phases — no process ids at all — so it is
+/// equivariant and safe to explore with symmetry reduction.
+impl StateCodec for GreedyDiners {
+    fn local_bits(&self, _topo: &Topology) -> u32 {
+        2
+    }
+
+    fn edge_bits(&self, _topo: &Topology) -> u32 {
+        0
+    }
+
+    fn encode_local(&self, _topo: &Topology, _p: ProcessId, local: &Phase) -> u64 {
+        phase_to_bits(*local)
+    }
+
+    fn decode_local(&self, _topo: &Topology, _p: ProcessId, bits: u64) -> Phase {
+        phase_from_bits(bits)
+    }
+
+    fn encode_edge(&self, _topo: &Topology, _e: EdgeId, _value: &()) -> u64 {
+        0
+    }
+
+    fn decode_edge(&self, _topo: &Topology, _e: EdgeId, _bits: u64) {}
+
+    fn respects_symmetry(&self) -> bool {
+        true
     }
 }
 

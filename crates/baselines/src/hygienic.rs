@@ -27,7 +27,9 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use diners_sim::algorithm::{ActionId, ActionKind, Algorithm, DinerAlgorithm, Phase, View, Write};
+use diners_sim::codec::{phase_from_bits, phase_to_bits, StateCodec};
 use diners_sim::graph::{EdgeId, ProcessId, Topology};
+use diners_sim::symmetry::Perm;
 
 /// The shared per-edge variable: fork position, cleanliness, request
 /// token position.
@@ -211,6 +213,62 @@ impl Algorithm for HygienicDiners {
 impl DinerAlgorithm for HygienicDiners {
     fn phase(&self, local: &Phase) -> Phase {
         *local
+    }
+}
+
+/// 2 bits per process (the phase), 3 bits per edge: which endpoint holds
+/// the fork (0 = lower id, 1 = higher), `dirty`, and which endpoint holds
+/// the request token. A ring(12) state packs into a single `u64`
+/// (24 + 36 = 60 bits) instead of ~340 cloned heap bytes.
+///
+/// Hygienic's guards are all relative (fork/token at me vs at you), so the
+/// program itself is equivariant and `respects_symmetry` is `true`; the
+/// endpoint ids stored inside [`ForkVar`] are rewritten by `permute_edge`.
+impl StateCodec for HygienicDiners {
+    fn local_bits(&self, _topo: &Topology) -> u32 {
+        2
+    }
+
+    fn edge_bits(&self, _topo: &Topology) -> u32 {
+        3
+    }
+
+    fn encode_local(&self, _topo: &Topology, _p: ProcessId, local: &Phase) -> u64 {
+        phase_to_bits(*local)
+    }
+
+    fn decode_local(&self, _topo: &Topology, _p: ProcessId, bits: u64) -> Phase {
+        phase_from_bits(bits)
+    }
+
+    fn encode_edge(&self, topo: &Topology, e: EdgeId, value: &ForkVar) -> u64 {
+        let (lo, hi) = topo.endpoints(e);
+        debug_assert!(value.fork_at == lo || value.fork_at == hi);
+        debug_assert!(value.req_at == lo || value.req_at == hi);
+        (value.fork_at == hi) as u64
+            | ((value.dirty as u64) << 1)
+            | (((value.req_at == hi) as u64) << 2)
+    }
+
+    fn decode_edge(&self, topo: &Topology, e: EdgeId, bits: u64) -> ForkVar {
+        let (lo, hi) = topo.endpoints(e);
+        ForkVar {
+            fork_at: if bits & 1 == 0 { lo } else { hi },
+            dirty: bits & 0b10 != 0,
+            req_at: if bits & 0b100 == 0 { lo } else { hi },
+        }
+    }
+
+    fn respects_symmetry(&self) -> bool {
+        true
+    }
+
+    fn permute_edge(&self, _topo: &Topology, perm: &Perm, _e: EdgeId, value: &ForkVar) -> ForkVar {
+        ForkVar {
+            fork_at: perm.apply(value.fork_at),
+            dirty: value.dirty,
+            req_at: perm.apply(value.req_at),
+        }
     }
 }
 

@@ -1,0 +1,159 @@
+//! Codec and symmetry differential checks for the baseline diners.
+//!
+//! Greedy and hygienic both declare packed codecs (2-bit phases; 3-bit
+//! fork variables) and equivariance, so they are explored packed by
+//! default and are eligible for symmetry reduction. The suites here
+//! verify the codec injectivity contract from randomly corrupted states
+//! and the verdict-equivalence of the symmetry quotient.
+
+use diners_baselines::{ForkVar, GreedyDiners, HygienicDiners};
+use diners_sim::algorithm::{Phase, SystemState};
+use diners_sim::codec::Codec;
+use diners_sim::explore::{explore_with, ExplorationReport, ExploreConfig, Limits, Reduction};
+use diners_sim::fault::Health;
+use diners_sim::graph::{ProcessId, Topology};
+use diners_sim::predicate::Snapshot;
+
+fn families() -> Vec<Topology> {
+    vec![
+        Topology::line(4),
+        Topology::ring(5),
+        Topology::star(5),
+        Topology::grid(2, 3),
+        Topology::complete(4),
+    ]
+}
+
+#[test]
+fn greedy_codec_round_trips_from_random_corruption() {
+    let mut rng = diners_sim::rng::rng(5);
+    for topo in families() {
+        let codec = Codec::new(&GreedyDiners, &topo);
+        for _ in 0..50 {
+            let mut s = SystemState::initial(&GreedyDiners, &topo);
+            s.corrupt_all(&GreedyDiners, &topo, &mut rng);
+            let packed = codec.encode(&s);
+            assert_eq!(codec.decode(&packed), s, "{}", topo.name());
+        }
+    }
+}
+
+#[test]
+fn hygienic_codec_round_trips_from_random_corruption() {
+    let mut rng = diners_sim::rng::rng(6);
+    for topo in families() {
+        let codec = Codec::new(&HygienicDiners, &topo);
+        for _ in 0..50 {
+            let mut s = SystemState::initial(&HygienicDiners, &topo);
+            s.corrupt_all(&HygienicDiners, &topo, &mut rng);
+            let packed = codec.encode(&s);
+            assert_eq!(codec.decode(&packed), s, "{}", topo.name());
+        }
+    }
+}
+
+#[test]
+fn hygienic_fork_var_corners_round_trip() {
+    // All 8 combinations of (fork endpoint, dirty, token endpoint) on
+    // every edge of a ring.
+    let topo = Topology::ring(4);
+    let codec = Codec::new(&HygienicDiners, &topo);
+    let mut s = SystemState::initial(&HygienicDiners, &topo);
+    for bits in 0u8..8 {
+        for e in 0..topo.edge_count() {
+            let id = diners_sim::graph::EdgeId(e);
+            let (a, b) = topo.endpoints(id);
+            *s.edge_mut(id) = ForkVar {
+                fork_at: if bits & 1 == 0 { a } else { b },
+                dirty: bits & 2 != 0,
+                req_at: if bits & 4 == 0 { a } else { b },
+            };
+        }
+        let packed = codec.encode(&s);
+        assert_eq!(codec.decode(&packed), s, "pattern {bits:03b}");
+    }
+}
+
+fn exclusion_greedy(snap: &Snapshot<'_, GreedyDiners>) -> bool {
+    snap.topo.edges().iter().all(|&(a, b)| {
+        !(*snap.state.local(a) == Phase::Eating && *snap.state.local(b) == Phase::Eating)
+    })
+}
+
+fn run<A, F>(alg: &A, topo: &Topology, safety: F, reduction: Reduction) -> ExplorationReport
+where
+    A: diners_sim::codec::StateCodec + Sync,
+    A::Local: std::hash::Hash + Eq + Send + Sync,
+    A::Edge: std::hash::Hash + Eq + Send + Sync,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+{
+    let n = topo.len();
+    explore_with(
+        alg,
+        topo,
+        SystemState::initial(alg, topo),
+        &vec![Health::Live; n],
+        &vec![true; n],
+        safety,
+        ExploreConfig {
+            limits: Limits::default(),
+            reduction,
+            threads: 1,
+        },
+    )
+}
+
+#[test]
+fn greedy_symmetry_quotient_agrees_and_shrinks() {
+    for topo in [Topology::ring(4), Topology::ring(6), Topology::star(5)] {
+        let full = run(&GreedyDiners, &topo, exclusion_greedy, Reduction::Packed);
+        let sym = run(&GreedyDiners, &topo, exclusion_greedy, Reduction::Symmetry);
+        assert!(full.verified() && sym.verified(), "{}", topo.name());
+        assert_eq!(full.deadlocks == 0, sym.deadlocks == 0);
+        assert!(
+            sym.states < full.states,
+            "{}: {} vs {}",
+            topo.name(),
+            sym.states,
+            full.states
+        );
+    }
+}
+
+#[test]
+fn hygienic_symmetry_quotient_agrees_and_shrinks() {
+    let exclusion = |snap: &Snapshot<'_, HygienicDiners>| {
+        snap.topo.edges().iter().all(|&(a, b)| {
+            !(*snap.state.local(a) == Phase::Eating && *snap.state.local(b) == Phase::Eating)
+        })
+    };
+    for topo in [Topology::ring(4), Topology::line(4)] {
+        let full = run(&HygienicDiners, &topo, exclusion, Reduction::Packed);
+        let sym = run(&HygienicDiners, &topo, exclusion, Reduction::Symmetry);
+        assert_eq!(full.violation.is_some(), sym.violation.is_some());
+        assert_eq!(full.truncated, sym.truncated);
+        assert_eq!(full.deadlocks == 0, sym.deadlocks == 0);
+        assert!(
+            sym.states < full.states,
+            "{}: {} vs {}",
+            topo.name(),
+            sym.states,
+            full.states
+        );
+    }
+}
+
+#[test]
+fn greedy_violation_traces_agree_between_representations() {
+    // "p0 never eats" is *not* symmetric, so only Packed-vs-None
+    // comparison is legitimate here — and they must be bit-identical.
+    let p0_eats =
+        |snap: &Snapshot<'_, GreedyDiners>| *snap.state.local(ProcessId(0)) != Phase::Eating;
+    let topo = Topology::ring(5);
+    let cloned = run(&GreedyDiners, &topo, p0_eats, Reduction::None);
+    let packed = run(&GreedyDiners, &topo, p0_eats, Reduction::Packed);
+    assert!(cloned.violation.is_some());
+    assert_eq!(cloned.violation, packed.violation);
+    assert_eq!(cloned.states, packed.states);
+    assert_eq!(cloned.transitions, packed.transitions);
+}

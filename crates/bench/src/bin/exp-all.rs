@@ -40,6 +40,12 @@ fn main() {
     std::fs::write("BENCH_engine.json", &perf.json).expect("write benchmark JSON");
     println!("wrote BENCH_engine.json");
 
+    let codec = diners_bench::experiments::codec::run(quick);
+    println!("{}", codec.repr);
+    println!("{}", codec.symmetry);
+    std::fs::write("BENCH_codec.json", &codec.json).expect("write codec JSON");
+    println!("wrote BENCH_codec.json");
+
     let tele = diners_bench::experiments::telemetry::run(quick);
     println!("{}", tele.convergence);
     println!("{}", tele.disturbance);

@@ -1,0 +1,23 @@
+//! T14 — packed state codec and symmetry-reduced exploration. Prints
+//! the result tables and writes the machine-readable benchmark JSON.
+//!
+//! Flags:
+//!   --quick       reduced topology sizes (CI smoke)
+//!   --out PATH    where to write the JSON (default BENCH_codec.json)
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_codec.json".to_string());
+
+    let report = diners_bench::experiments::codec::run(quick);
+    println!("{}", report.repr);
+    println!("{}", report.symmetry);
+    std::fs::write(&out, &report.json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

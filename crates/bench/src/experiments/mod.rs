@@ -4,6 +4,7 @@
 //! [`crate::common::Scale::quick`].
 
 pub mod chaos;
+pub mod codec;
 pub mod cycles;
 pub mod daemons;
 pub mod fig2;

@@ -189,27 +189,31 @@ pub fn run(quick: bool) -> PerfReport {
     );
     let mut json_explore = Vec::new();
 
-    let toy_topo = if quick {
-        Topology::ring(9)
-    } else {
-        Topology::ring(12)
+    // The explorer cases use the same sizes in quick and full mode: the
+    // baseline check matches entries by case name, so CI's --quick run
+    // must produce the same cases as the committed full baseline for the
+    // explorer speedup guard to bite (the searches are subsecond anyway;
+    // "quick" shrinks the engine time budgets, which dominate).
+    let toy_topo = Topology::ring(12);
+    let mca_topo = Topology::line(4);
+    // On a single-core host `explore_parallel` clamps to the sequential
+    // path, so a second measurement would only record noise (the committed
+    // baseline once showed a fictitious 0.86x "slowdown" this way): reuse
+    // the sequential report and report the honest 1.0 speedup.
+    let par_run = |seq: &ExplorationReport, run: &dyn Fn(usize) -> ExplorationReport| {
+        if threads <= 1 {
+            seq.clone()
+        } else {
+            run(threads)
+        }
     };
-    let mca_topo = if quick {
-        Topology::line(3)
-    } else {
-        Topology::line(4)
-    };
+    let toy_seq = explore_toy(&toy_topo, None);
+    let toy_par = par_run(&toy_seq, &|t| explore_toy(&toy_topo, Some(t)));
+    let mca_seq = explore_mca(&mca_topo, None);
+    let mca_par = par_run(&mca_seq, &|t| explore_mca(&mca_topo, Some(t)));
     let cases: [(String, ExplorationReport, ExplorationReport); 2] = [
-        (
-            format!("toy-{}", toy_topo.name()),
-            explore_toy(&toy_topo, None),
-            explore_toy(&toy_topo, Some(threads)),
-        ),
-        (
-            format!("mca-{}", mca_topo.name()),
-            explore_mca(&mca_topo, None),
-            explore_mca(&mca_topo, Some(threads)),
-        ),
+        (format!("toy-{}", toy_topo.name()), toy_seq, toy_par),
+        (format!("mca-{}", mca_topo.name()), mca_seq, mca_par),
     ];
     for (case, seq, par) in cases {
         assert_eq!(seq.states, par.states, "{case}: searches must agree");
@@ -304,6 +308,25 @@ fn engine_entries(json: &str) -> Vec<(String, usize, f64)> {
     out
 }
 
+/// Extract `(case, speedup)` pairs from the `explore` section of a
+/// `BENCH_engine.json` blob (explore entries are the ones keyed by
+/// `"case"`).
+fn explore_entries(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"case\":\"") {
+        let after = &rest[i + 8..];
+        let Some(q) = after.find('"') else { break };
+        let case = after[..q].to_string();
+        let obj = &after[..after.find('}').unwrap_or(after.len())];
+        if let Some(s) = num_after(obj, "\"speedup\":") {
+            out.push((case, s));
+        }
+        rest = &after[q..];
+    }
+    out
+}
+
 /// Compare a fresh T10 run against a committed baseline and flag
 /// configurations where the incremental engine's advantage regressed.
 ///
@@ -315,6 +338,11 @@ fn engine_entries(json: &str) -> Vec<(String, usize, f64)> {
 /// path (e.g. accidental work on the telemetry-disabled branch). A
 /// configuration regresses when its current speedup falls below
 /// `1 - tolerance` of the baseline's.
+///
+/// Explorer throughput is guarded the same way: the `explore` section's
+/// parallel/sequential speedup per case is a machine-independent ratio,
+/// and a regression there (e.g. a parallel merge pessimization sneaking
+/// back in) fails the check just as an engine regression does.
 ///
 /// Only configurations present in both blobs are compared (a `--quick`
 /// run checks against a full baseline's intersection); it is an error
@@ -355,6 +383,31 @@ pub fn check_against_baseline(
             family.clone(),
             n.to_string(),
             fmt_f64(*b, 2),
+            fmt_f64(*c, 2),
+            fmt_f64(ratio, 2),
+            if ok { "ok" } else { "REGRESSED" }.to_string(),
+        ]);
+    }
+    // Explorer cases ride in the same table: "case" in the family column,
+    // "-" for the size (cases are matched by name alone).
+    let cur_ex = explore_entries(current);
+    for (case, b) in explore_entries(baseline) {
+        let Some((_, c)) = cur_ex.iter().find(|(k, _)| *k == case) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = c / b;
+        let ok = ratio >= 1.0 - tolerance;
+        if !ok {
+            regressions.push(format!(
+                "{case}: explorer speedup {c:.2} is {:.0}% of baseline {b:.2}",
+                ratio * 100.0
+            ));
+        }
+        table.row([
+            case.clone(),
+            "-".to_string(),
+            fmt_f64(b, 2),
             fmt_f64(*c, 2),
             fmt_f64(ratio, 2),
             if ok { "ok" } else { "REGRESSED" }.to_string(),
@@ -409,6 +462,50 @@ mod tests {
         assert!(check_against_baseline(&disjoint, &baseline, 0.25).is_err());
         assert!(check_against_baseline("{}", &baseline, 0.25).is_err());
         assert!(check_against_baseline(&ok, "{}", 0.25).is_err());
+    }
+
+    #[test]
+    fn baseline_check_guards_explorer_speedups_too() {
+        let baseline = format!(
+            "{{\"engine\":[{}],\"explore\":[{{\"case\":\"toy-ring(n=12)\",\"speedup\":2.000}}]}}",
+            entry("ring", 64, 10.0)
+        );
+        let ok = format!(
+            "{{\"engine\":[{}],\"explore\":[{{\"case\":\"toy-ring(n=12)\",\"speedup\":1.800}}]}}",
+            entry("ring", 64, 10.0)
+        );
+        let check = check_against_baseline(&ok, &baseline, 0.25).unwrap();
+        assert!(check.regressions.is_empty(), "{:?}", check.regressions);
+        assert_eq!(check.table.len(), 2, "engine row + explore row");
+
+        let bad = format!(
+            "{{\"engine\":[{}],\"explore\":[{{\"case\":\"toy-ring(n=12)\",\"speedup\":1.000}}]}}",
+            entry("ring", 64, 10.0)
+        );
+        let check = check_against_baseline(&bad, &baseline, 0.25).unwrap();
+        assert_eq!(check.regressions.len(), 1);
+        assert!(
+            check.regressions[0].contains("toy-ring"),
+            "{:?}",
+            check.regressions
+        );
+    }
+
+    #[test]
+    fn single_core_reports_unity_explorer_speedup() {
+        // On a 1-core host the parallel column must be the sequential
+        // report itself (speedup exactly 1.0), not a second noisy run.
+        if std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            > 1
+        {
+            return; // only meaningfully testable on a single-core host
+        }
+        let report = run(true);
+        for (case, speedup) in explore_entries(&report.json) {
+            assert_eq!(speedup, 1.0, "{case}: {speedup}");
+        }
     }
 
     #[test]

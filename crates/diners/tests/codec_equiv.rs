@@ -1,0 +1,161 @@
+//! Codec round-trip and trace-rehydration guarantees for the paper's
+//! algorithm.
+//!
+//! The packed explorer is only sound if `decode ∘ encode` is the identity
+//! on every state the search can touch — reachable states *and* the
+//! corruption lattice that transient-fault exploration starts from. The
+//! sweeps here cover that domain exhaustively on a small topology and by
+//! random corruption on every topology family.
+//!
+//! Symmetry-reduced counterexample traces are additionally replayed on
+//! the real [`Engine`] through a [`ScriptedScheduler`]: the scheduler
+//! panics on the first move whose guard does not hold, so a surviving
+//! run proves the rehydrated trace is a genuine computation of the
+//! original (unpermuted) system, not just of some orbit representative.
+
+use diners_core::{MaliciousCrashDiners, PriorityVar};
+use diners_sim::algorithm::{Phase, SystemState};
+use diners_sim::codec::{Codec, Layout};
+use diners_sim::engine::Engine;
+use diners_sim::explore::{explore_with, ExploreConfig, Limits, Reduction};
+use diners_sim::fault::Health;
+use diners_sim::graph::{EdgeId, ProcessId, Topology};
+use diners_sim::predicate::Snapshot;
+use diners_sim::scheduler::ScriptedScheduler;
+
+#[test]
+fn mca_codec_round_trips_over_the_whole_corruption_lattice() {
+    // line(3), paper variant: every phase × depth in the corrupt_local
+    // domain (0..=2·bound+8) per process, every orientation per edge —
+    // the exact lattice the stabilization experiments start from.
+    let alg = MaliciousCrashDiners::paper();
+    let topo = Topology::line(3);
+    let codec = Codec::new(&alg, &topo);
+    let depth_max = alg.depth_bound(&topo) * 2 + 8;
+    let per_local = 3 * (depth_max as u64 + 1);
+    let n = topo.len();
+    let m = topo.edge_count();
+    let total = per_local.pow(n as u32) * 2u64.pow(m as u32);
+
+    let phase_of = |v: u64| match v {
+        0 => Phase::Thinking,
+        1 => Phase::Hungry,
+        _ => Phase::Eating,
+    };
+    let template = SystemState::initial(&alg, &topo);
+    let mut checked = 0u64;
+    for idx in 0..total {
+        let mut state = template.clone();
+        let mut rest = idx;
+        for p in 0..n {
+            let v = rest % per_local;
+            rest /= per_local;
+            let local = state.local_mut(ProcessId(p));
+            local.phase = phase_of(v / (depth_max as u64 + 1));
+            local.depth = (v % (depth_max as u64 + 1)) as u32;
+        }
+        for e in 0..m {
+            let bit = rest % 2;
+            rest /= 2;
+            let (a, b) = topo.endpoints(EdgeId(e));
+            state.edge_mut(EdgeId(e)).ancestor = if bit == 1 { b } else { a };
+        }
+        let packed = codec.encode(&state);
+        assert_eq!(codec.decode(&packed), state);
+        checked += 1;
+    }
+    assert_eq!(checked, total, "lattice not fully swept");
+}
+
+#[test]
+fn mca_codec_round_trips_from_random_corruption_on_every_family() {
+    let mut rng = diners_sim::rng::rng(13);
+    for topo in [
+        Topology::line(5),
+        Topology::ring(6),
+        Topology::star(5),
+        Topology::grid(2, 3),
+        Topology::complete(4),
+        Topology::binary_tree(6),
+    ] {
+        for variant in [
+            MaliciousCrashDiners::paper(),
+            MaliciousCrashDiners::corrected(),
+        ] {
+            let codec = Codec::new(&variant, &topo);
+            for _ in 0..50 {
+                let mut s = SystemState::initial(&variant, &topo);
+                s.corrupt_all(&variant, &topo, &mut rng);
+                let packed = codec.encode(&s);
+                assert_eq!(codec.decode(&packed), s, "{}", topo.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn mca_packing_beats_the_cloned_representation_by_4x() {
+    // ring(12): 12 locals x 34 bits + 12 edges x 1 bit = 420 bits =
+    // 7 words = 56 bytes, vs ~240 heap bytes for a cloned state.
+    let alg = MaliciousCrashDiners::paper();
+    let topo = Topology::ring(12);
+    let layout = Layout::new(&alg, &topo);
+    assert_eq!(layout.words(), 7);
+    let cloned_bytes = std::mem::size_of::<SystemState<MaliciousCrashDiners>>()
+        + topo.len() * std::mem::size_of::<diners_core::DinerLocal>()
+        + topo.edge_count() * std::mem::size_of::<PriorityVar>();
+    assert!(
+        layout.words() * 8 * 4 <= cloned_bytes,
+        "{} packed bytes vs {cloned_bytes} cloned",
+        layout.words() * 8
+    );
+}
+
+/// Find a symmetry-reduced counterexample to "nobody ever eats" and
+/// replay the rehydrated trace on the real engine. The scripted
+/// scheduler panics on any non-enabled move, so this validates every
+/// guard along the trace, and the eat counter validates the final state.
+#[test]
+fn rehydrated_symmetry_traces_replay_on_the_engine() {
+    let alg = MaliciousCrashDiners::paper();
+    for topo in [Topology::ring(5), Topology::line(4), Topology::star(4)] {
+        let n = topo.len();
+        let initial = SystemState::initial(&alg, &topo);
+        let nobody_eats = |snap: &Snapshot<'_, MaliciousCrashDiners>| {
+            snap.topo
+                .processes()
+                .all(|p| snap.state.local(p).phase != Phase::Eating)
+        };
+        let report = explore_with(
+            &alg,
+            &topo,
+            initial.clone(),
+            &vec![Health::Live; n],
+            &vec![true; n],
+            nobody_eats,
+            ExploreConfig {
+                limits: Limits::default(),
+                reduction: Reduction::Symmetry,
+                threads: 1,
+            },
+        );
+        let trace = report.violation.expect("someone must eventually eat");
+        let steps = trace.len() as u64;
+        let mut engine = Engine::builder(alg, topo.clone())
+            .scheduler(ScriptedScheduler::new(trace))
+            .initial_state(initial)
+            .seed(0)
+            .build();
+        engine.run(steps);
+        assert!(
+            engine
+                .topology()
+                .processes()
+                .any(|p| engine.state().local(p).phase == Phase::Eating),
+            "{}: trace must end with a process eating",
+            topo.name()
+        );
+        assert!(engine.metrics().total_eats() > 0);
+        assert_eq!(engine.metrics().violation_step_count(), 0);
+    }
+}

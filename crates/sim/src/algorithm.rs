@@ -224,6 +224,18 @@ impl<A: Algorithm + ?Sized> PartialEq for SystemState<A> {
 }
 
 impl<A: Algorithm> SystemState<A> {
+    /// Assemble a state from raw vectors (one local per process, one value
+    /// per edge, in id order). Used by the packed-state decoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match the topology.
+    pub fn from_parts(topo: &Topology, locals: Vec<A::Local>, edges: Vec<A::Edge>) -> Self {
+        assert_eq!(locals.len(), topo.len(), "one local per process");
+        assert_eq!(edges.len(), topo.edge_count(), "one value per edge");
+        SystemState { locals, edges }
+    }
+
     /// The legitimate initial state defined by the algorithm.
     pub fn initial(alg: &A, topo: &Topology) -> Self {
         SystemState {

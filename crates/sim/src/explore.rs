@@ -19,6 +19,26 @@
 //! candidate against the states already interned in that fingerprint's
 //! bucket, so deduplication is exact, not probabilistic.
 //!
+//! The visited set itself comes in three flavours ([`Reduction`]):
+//!
+//! * [`Reduction::None`] — the arena stores full cloned [`SystemState`]s
+//!   (the historical baseline, kept for differential testing and for
+//!   algorithms without a codec-friendly representation).
+//! * [`Reduction::Packed`] (the default) — the arena is a flat `Vec<u64>`
+//!   of fixed-stride bit-packed states ([`crate::codec`]); states are
+//!   decoded only on collision compare, safety checks and trace rebuild.
+//!   Discovery order and dedup decisions are representation-independent,
+//!   so every report field except the memory accounting is identical to
+//!   `None`'s.
+//! * [`Reduction::Symmetry`] — additionally dedups by *canonical form*
+//!   under the topology's automorphism subgroup ([`crate::symmetry`]),
+//!   storing one representative per orbit. Sound only for equivariant
+//!   algorithms ([`StateCodec::respects_symmetry`]) and symmetric safety
+//!   predicates; non-equivariant algorithms silently degrade to the
+//!   identity group (= `Packed` behaviour). Counterexample traces are
+//!   *rehydrated* through the stored permutations, so the reported trace
+//!   is a valid concrete trace of the original (unpermuted) system.
+//!
 //! The BFS is *layered*: the frontier at depth `d` is fully expanded
 //! (moves enumerated, successors and fingerprints computed — the
 //! expensive part), then merged sequentially in frontier order into the
@@ -27,7 +47,10 @@
 //! FIFO-queue formulation, but makes the expansion embarrassingly
 //! parallel: [`explore_parallel`] shards each frontier across scoped
 //! worker threads and reassembles the per-shard results in shard order,
-//! so its report is bit-identical to [`explore`]'s.
+//! so its report is bit-identical to [`explore`]'s. Thread counts are
+//! clamped to the host's available parallelism — on a single-core host
+//! the sequential path is taken directly, with no spawn or chunk-merge
+//! overhead.
 //!
 //! The workload must be state-independent for the state space to be
 //! well-defined: each process either always or never "needs" to eat
@@ -39,10 +62,12 @@ use std::time::{Duration, Instant};
 use crossbeam::{channel, thread};
 
 use crate::algorithm::{Algorithm, Move, SystemState, View, Write};
+use crate::codec::{Codec, StateCodec};
 use crate::fault::Health;
-use crate::fingerprint::{fingerprint, FingerprintMap};
+use crate::fingerprint::{fingerprint, fingerprint_words, FingerprintMap};
 use crate::graph::Topology;
 use crate::predicate::Snapshot;
+use crate::symmetry::{canonicalize_into, Perm, SymmetryGroup};
 
 /// Exploration bounds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,22 +84,53 @@ impl Default for Limits {
     }
 }
 
+/// How the visited set stores and deduplicates states. See the
+/// [module docs](self) for the trade-offs and soundness conditions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Reduction {
+    /// Full cloned states (baseline).
+    None,
+    /// Bit-packed states in a flat arena (default).
+    #[default]
+    Packed,
+    /// Packed, plus orbit dedup under the topology's automorphism
+    /// subgroup when the algorithm declares itself equivariant.
+    Symmetry,
+}
+
+/// Full configuration for [`explore_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreConfig {
+    /// Exploration bounds.
+    pub limits: Limits,
+    /// Visited-set representation.
+    pub reduction: Reduction,
+    /// Worker threads for frontier expansion: `0` = one per available
+    /// core; values above the available parallelism are clamped down, so
+    /// a single-core host always takes the sequential path.
+    pub threads: usize,
+}
+
 /// Result of an exhaustive search.
 #[derive(Clone, Debug)]
 pub struct ExplorationReport {
-    /// Distinct states visited.
+    /// Distinct states visited (canonical representatives under
+    /// [`Reduction::Symmetry`]).
     pub states: usize,
     /// Transitions (state, move) explored.
     pub transitions: u64,
     /// Number of distinct deadlock states (no move enabled anywhere).
     pub deadlocks: usize,
-    /// The move sequence to the first property violation, if any.
+    /// The move sequence to the first property violation, if any. Always
+    /// a valid concrete trace of the *original* system, even under
+    /// symmetry reduction.
     pub violation: Option<Vec<Move>>,
     /// Whether the search hit [`Limits::max_states`] before completing.
     pub truncated: bool,
     /// Wall-clock time the search took.
     pub elapsed: Duration,
-    /// Worker threads used to expand frontiers (1 = sequential).
+    /// Worker threads used to expand frontiers (1 = sequential), after
+    /// clamping to the host's available parallelism.
     pub threads: usize,
     /// BFS layers expanded (frontier generations, excluding the empty
     /// final one).
@@ -84,6 +140,14 @@ pub struct ExplorationReport {
     /// Successor states already interned when reached again (dedup
     /// rate = `dedup_hits / transitions`).
     pub dedup_hits: u64,
+    /// Bytes held by the visited-set arena at termination: exact packed
+    /// words under `Packed`/`Symmetry`, a per-state heap estimate under
+    /// `None`.
+    pub bytes_interned: usize,
+    /// High-water mark of simultaneously materialized states: interned
+    /// states plus the largest batch of successor candidates held during
+    /// any layer merge.
+    pub peak_states: usize,
 }
 
 impl ExplorationReport {
@@ -113,11 +177,68 @@ impl ExplorationReport {
             self.dedup_hits as f64 / self.transitions as f64
         }
     }
+
+    /// Average arena bytes per interned state (`0.0` before any state).
+    pub fn bytes_per_state(&self) -> f64 {
+        if self.states == 0 {
+            0.0
+        } else {
+            self.bytes_interned as f64 / self.states as f64
+        }
+    }
+}
+
+fn empty_report(threads: usize) -> ExplorationReport {
+    ExplorationReport {
+        states: 0,
+        transitions: 0,
+        deadlocks: 0,
+        violation: None,
+        truncated: false,
+        elapsed: Duration::ZERO,
+        threads,
+        layers: 0,
+        peak_frontier: 0,
+        dedup_hits: 0,
+        bytes_interned: 0,
+        peak_states: 0,
+    }
+}
+
+/// The host's available parallelism (≥ 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolve a requested thread count: `0` means one per available core,
+/// and anything above the available parallelism is clamped down (extra
+/// threads on an oversubscribed host only add spawn and merge overhead —
+/// the committed single-core benchmarks showed "parallel" runs *slower*
+/// than sequential before this clamp).
+fn resolve_threads(requested: usize) -> usize {
+    let avail = available_parallelism();
+    if requested == 0 {
+        avail
+    } else {
+        requested.min(avail)
+    }
+}
+
+/// Heap bytes one cloned state occupies in the `Reduction::None` arena
+/// (struct + its two vectors' payloads; allocator slack not counted).
+fn cloned_state_bytes<A: Algorithm>(topo: &Topology) -> usize {
+    std::mem::size_of::<SystemState<A>>()
+        + topo.len() * std::mem::size_of::<A::Local>()
+        + topo.edge_count() * std::mem::size_of::<A::Edge>()
 }
 
 /// Exhaustively explore the reachable state space of `alg` on `topo`
 /// from `initial` with the given health vector and per-process `needs`
-/// mask, checking `safety` in every reachable state.
+/// mask, checking `safety` in every reachable state. Sequential, using
+/// the default [`Reduction::Packed`] representation; see [`explore_with`]
+/// for the full configuration surface.
 ///
 /// # Panics
 ///
@@ -132,34 +253,32 @@ pub fn explore<A, F>(
     limits: Limits,
 ) -> ExplorationReport
 where
-    A: Algorithm,
+    A: StateCodec,
     A::Local: Hash + Eq,
     A::Edge: Hash + Eq,
     F: Fn(&Snapshot<'_, A>) -> bool,
 {
     assert_eq!(needs.len(), topo.len(), "needs mask size mismatch");
     assert_eq!(health.len(), topo.len(), "health vector size mismatch");
-    search_loop(
+    run_sequential(
+        alg,
         topo,
         initial,
         health,
+        needs,
         safety,
-        limits,
-        1,
-        |frontier, states| {
-            frontier
-                .iter()
-                .map(|&i| expand_state(alg, topo, states, i, health, needs))
-                .collect()
+        Limits {
+            max_states: limits.max_states,
         },
+        Reduction::Packed,
     )
 }
 
 /// [`explore`] with frontier expansion sharded across `threads` scoped
-/// worker threads (`0` = one per available core). The report —
-/// discovery order, counts, violation trace, truncation point — is
-/// bit-identical to the sequential search's; only the wall-clock time
-/// changes.
+/// worker threads (`0` = one per available core, more than available
+/// clamped down). The report — discovery order, counts, violation trace,
+/// truncation point — is bit-identical to the sequential search's; only
+/// the wall-clock time changes.
 ///
 /// # Panics
 ///
@@ -177,22 +296,135 @@ pub fn explore_parallel<A, F>(
     threads: usize,
 ) -> ExplorationReport
 where
-    A: Algorithm + Sync,
+    A: StateCodec + Sync,
+    A::Local: Hash + Eq + Send + Sync,
+    A::Edge: Hash + Eq + Send + Sync,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+{
+    explore_with(
+        alg,
+        topo,
+        initial,
+        health,
+        needs,
+        safety,
+        ExploreConfig {
+            limits,
+            reduction: Reduction::Packed,
+            threads,
+        },
+    )
+}
+
+/// Fully configurable exploration: representation ([`Reduction`]),
+/// bounds and thread count in one [`ExploreConfig`].
+///
+/// Under [`Reduction::Symmetry`] the caller asserts that the safety
+/// predicate is *symmetric* (invariant under the topology's automorphism
+/// group); the algorithm side of the soundness condition is checked via
+/// [`StateCodec::respects_symmetry`] and degrades to no reduction when
+/// absent.
+///
+/// # Panics
+///
+/// Panics if `needs` or `health` length differs from the topology size,
+/// or if a worker thread panics.
+pub fn explore_with<A, F>(
+    alg: &A,
+    topo: &Topology,
+    initial: SystemState<A>,
+    health: &[Health],
+    needs: &[bool],
+    safety: F,
+    config: ExploreConfig,
+) -> ExplorationReport
+where
+    A: StateCodec + Sync,
     A::Local: Hash + Eq + Send + Sync,
     A::Edge: Hash + Eq + Send + Sync,
     F: Fn(&Snapshot<'_, A>) -> bool,
 {
     assert_eq!(needs.len(), topo.len(), "needs mask size mismatch");
     assert_eq!(health.len(), topo.len(), "health vector size mismatch");
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+    let threads = resolve_threads(config.threads);
     if threads <= 1 {
-        return search_loop(
+        return run_sequential(
+            alg,
+            topo,
+            initial,
+            health,
+            needs,
+            safety,
+            config.limits,
+            config.reduction,
+        );
+    }
+    match config.reduction {
+        Reduction::None => run_parallel_cloned(
+            alg,
+            topo,
+            initial,
+            health,
+            needs,
+            safety,
+            config.limits,
+            threads,
+        ),
+        Reduction::Packed | Reduction::Symmetry => {
+            let codec = Codec::new(alg, topo);
+            let group = effective_group(alg, topo, needs, health, config.reduction);
+            run_parallel_packed(
+                alg,
+                &codec,
+                &group,
+                initial,
+                health,
+                needs,
+                safety,
+                config.limits,
+                threads,
+            )
+        }
+    }
+}
+
+/// The symmetry group actually used for a reduction mode: trivial unless
+/// `Symmetry` was requested *and* the algorithm is equivariant, and then
+/// only the stabilizer of the exploration context.
+fn effective_group<A: StateCodec>(
+    alg: &A,
+    topo: &Topology,
+    needs: &[bool],
+    health: &[Health],
+    reduction: Reduction,
+) -> SymmetryGroup {
+    match reduction {
+        Reduction::Symmetry if alg.respects_symmetry() => {
+            SymmetryGroup::for_topology(topo).stabilizing(needs, health)
+        }
+        _ => SymmetryGroup::identity(topo),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sequential<A, F>(
+    alg: &A,
+    topo: &Topology,
+    initial: SystemState<A>,
+    health: &[Health],
+    needs: &[bool],
+    safety: F,
+    limits: Limits,
+    reduction: Reduction,
+) -> ExplorationReport
+where
+    A: StateCodec,
+    A::Local: Hash + Eq,
+    A::Edge: Hash + Eq,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+{
+    match reduction {
+        Reduction::None => search_loop_cloned(
             topo,
             initial,
             health,
@@ -205,9 +437,49 @@ where
                     .map(|&i| expand_state(alg, topo, states, i, health, needs))
                     .collect()
             },
-        );
+        ),
+        Reduction::Packed | Reduction::Symmetry => {
+            let codec = Codec::new(alg, topo);
+            let group = effective_group(alg, topo, needs, health, reduction);
+            let template = initial.clone();
+            let mut expander = PackedExpander::new(alg, &codec, &group, health, needs, template);
+            search_loop_packed(
+                &codec,
+                &group,
+                initial,
+                health,
+                safety,
+                limits,
+                1,
+                |frontier, arena| {
+                    frontier
+                        .iter()
+                        .map(|&i| expander.expand(arena, i))
+                        .collect()
+                },
+            )
+        }
     }
-    search_loop(
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_cloned<A, F>(
+    alg: &A,
+    topo: &Topology,
+    initial: SystemState<A>,
+    health: &[Health],
+    needs: &[bool],
+    safety: F,
+    limits: Limits,
+    threads: usize,
+) -> ExplorationReport
+where
+    A: Algorithm + Sync,
+    A::Local: Hash + Eq + Send + Sync,
+    A::Edge: Hash + Eq + Send + Sync,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+{
+    search_loop_cloned(
         topo,
         initial,
         health,
@@ -257,6 +529,71 @@ where
     )
 }
 
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_packed<A, F>(
+    alg: &A,
+    codec: &Codec<'_, A>,
+    group: &SymmetryGroup,
+    initial: SystemState<A>,
+    health: &[Health],
+    needs: &[bool],
+    safety: F,
+    limits: Limits,
+    threads: usize,
+) -> ExplorationReport
+where
+    A: StateCodec + Sync,
+    A::Local: Hash + Eq + Send + Sync,
+    A::Edge: Hash + Eq + Send + Sync,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+{
+    let template = initial.clone();
+    // Inline expander for frontiers too small to shard.
+    let mut inline = PackedExpander::new(alg, codec, group, health, needs, template.clone());
+    search_loop_packed(
+        codec,
+        group,
+        initial,
+        health,
+        safety,
+        limits,
+        threads,
+        |frontier, arena| {
+            if frontier.len() < threads * 4 {
+                return frontier.iter().map(|&i| inline.expand(arena, i)).collect();
+            }
+            let chunk_size = frontier.len().div_ceil(threads);
+            let nchunks = frontier.len().div_ceil(chunk_size);
+            let (tx, rx) = channel::unbounded();
+            let template = &template;
+            let parts = thread::scope(|s| {
+                for (ci, chunk) in frontier.chunks(chunk_size).enumerate() {
+                    let tx = tx.clone();
+                    s.spawn(move |_| {
+                        let mut expander =
+                            PackedExpander::new(alg, codec, group, health, needs, template.clone());
+                        let out: Vec<PackedExpansion> =
+                            chunk.iter().map(|&i| expander.expand(arena, i)).collect();
+                        let _ = tx.send((ci, out));
+                    });
+                }
+                drop(tx);
+                let mut parts: Vec<Option<Vec<PackedExpansion>>> =
+                    (0..nchunks).map(|_| None).collect();
+                while let Ok((ci, out)) = rx.recv() {
+                    parts[ci] = Some(out);
+                }
+                parts
+            })
+            .expect("explore worker panicked");
+            parts
+                .into_iter()
+                .flat_map(|p| p.expect("missing shard result"))
+                .collect()
+        },
+    )
+}
+
 /// All successors of one frontier state: the enabled moves applied, with
 /// each successor's fingerprint precomputed (in the worker, when
 /// parallel). An empty `succs` marks a deadlock state.
@@ -289,12 +626,124 @@ where
     Expansion { parent: idx, succs }
 }
 
-/// The layered BFS driver shared by the sequential and parallel searches.
-/// `expand_layer` turns a frontier (indices into the state arena) into
-/// one `Expansion` per frontier state, *in frontier order*; the merge
-/// below is sequential either way, which is what makes the two searches
-/// produce identical reports.
-fn search_loop<A, F, E>(
+/// Successors of one packed frontier state. `words` holds the packed
+/// (and, under symmetry, canonicalized) successor windows back to back;
+/// `moves[k]` pairs the raw move (in the canonical parent's frame) with
+/// the successor's fingerprint and the index of the permutation that
+/// canonicalized it. Plain `u64`/`Move` data — nothing algorithm-typed
+/// crosses the thread boundary.
+struct PackedExpansion {
+    parent: usize,
+    moves: Vec<(Move, u64, u32)>,
+    words: Vec<u64>,
+}
+
+/// Reusable scratch for packed expansion: one decoded parent state, one
+/// move buffer and three packed windows, reused across every state the
+/// expander touches (per worker, when parallel).
+struct PackedExpander<'a, A: StateCodec> {
+    alg: &'a A,
+    codec: &'a Codec<'a, A>,
+    group: &'a SymmetryGroup,
+    health: &'a [Health],
+    needs: &'a [bool],
+    state: SystemState<A>,
+    moves_buf: Vec<Move>,
+    succ: Vec<u64>,
+    canon: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl<'a, A: StateCodec> PackedExpander<'a, A> {
+    fn new(
+        alg: &'a A,
+        codec: &'a Codec<'a, A>,
+        group: &'a SymmetryGroup,
+        health: &'a [Health],
+        needs: &'a [bool],
+        template: SystemState<A>,
+    ) -> Self {
+        let stride = codec.words();
+        PackedExpander {
+            alg,
+            codec,
+            group,
+            health,
+            needs,
+            state: template,
+            moves_buf: Vec::new(),
+            succ: vec![0u64; stride],
+            canon: vec![0u64; stride],
+            scratch: vec![0u64; stride],
+        }
+    }
+
+    fn expand(&mut self, arena: &[u64], idx: usize) -> PackedExpansion {
+        let stride = self.codec.words();
+        let topo = self.codec.topology();
+        let window = &arena[idx * stride..(idx + 1) * stride];
+        self.codec.decode_into(window, &mut self.state);
+        let mut moves_buf = std::mem::take(&mut self.moves_buf);
+        moves_buf.clear();
+        enabled_moves_into(
+            self.alg,
+            topo,
+            &self.state,
+            self.health,
+            self.needs,
+            &mut moves_buf,
+        );
+        let mut out = PackedExpansion {
+            parent: idx,
+            moves: Vec::with_capacity(moves_buf.len()),
+            words: Vec::with_capacity(moves_buf.len() * stride),
+        };
+        for &mv in &moves_buf {
+            // Successor = parent words with the move's writes patched in —
+            // no full re-encode.
+            self.succ.copy_from_slice(window);
+            let writes: Vec<Write<A>> = {
+                let view = View::new(topo, &self.state, mv.pid, self.needs[mv.pid.index()]);
+                self.alg.execute(&view, mv.action)
+            };
+            for w in writes {
+                match w {
+                    Write::Local(l) => self.codec.set_local(&mut self.succ, mv.pid, &l),
+                    Write::Edge { neighbor, value } => {
+                        let e = topo
+                            .edge_between(mv.pid, neighbor)
+                            .expect("edge write to neighbor");
+                        self.codec.set_edge(&mut self.succ, e, &value);
+                    }
+                }
+            }
+            let (fp, pi) = if self.group.is_trivial() {
+                (fingerprint_words(&self.succ), 0u32)
+            } else {
+                let pi = canonicalize_into(
+                    self.codec,
+                    self.group,
+                    &self.succ,
+                    &mut self.canon,
+                    &mut self.scratch,
+                );
+                self.succ.copy_from_slice(&self.canon);
+                (fingerprint_words(&self.succ), pi)
+            };
+            out.moves.push((mv, fp, pi));
+            out.words.extend_from_slice(&self.succ);
+        }
+        self.moves_buf = moves_buf;
+        out
+    }
+}
+
+/// The layered BFS driver for the cloned-state (`Reduction::None`)
+/// representation. `expand_layer` turns a frontier (indices into the
+/// state arena) into one `Expansion` per frontier state, *in frontier
+/// order*; the merge below is sequential either way, which is what makes
+/// the sequential and parallel searches produce identical reports.
+fn search_loop_cloned<A, F, E>(
     topo: &Topology,
     initial: SystemState<A>,
     health: &[Health],
@@ -311,18 +760,8 @@ where
     E: FnMut(&[usize], &[SystemState<A>]) -> Vec<Expansion<A>>,
 {
     let start = Instant::now();
-    let mut report = ExplorationReport {
-        states: 0,
-        transitions: 0,
-        deadlocks: 0,
-        violation: None,
-        truncated: false,
-        elapsed: Duration::ZERO,
-        threads,
-        layers: 0,
-        peak_frontier: 0,
-        dedup_hits: 0,
-    };
+    let mut report = empty_report(threads);
+    let per_state = cloned_state_bytes::<A>(topo);
 
     let check = |state: &SystemState<A>| -> bool {
         let snap = Snapshot::new(topo, state, health);
@@ -331,6 +770,8 @@ where
 
     if !check(&initial) {
         report.states = 1;
+        report.peak_states = 1;
+        report.bytes_interned = per_state;
         report.violation = Some(Vec::new());
         report.elapsed = start.elapsed();
         return report;
@@ -339,6 +780,7 @@ where
     let mut search = Search::new();
     let fp = fingerprint_state(&initial);
     search.intern(initial, fp, None);
+    report.peak_states = 1;
     let mut frontier = vec![0usize];
 
     'bfs: while !frontier.is_empty() {
@@ -347,6 +789,8 @@ where
         report.layers += 1;
         report.peak_frontier = report.peak_frontier.max(frontier.len());
         let expansions = expand_layer(&frontier, &search.states);
+        let in_flight: usize = expansions.iter().map(|e| e.succs.len()).sum();
+        report.peak_states = report.peak_states.max(search.states.len() + in_flight);
         let mut next_frontier = Vec::new();
         for exp in expansions {
             if exp.succs.is_empty() {
@@ -375,11 +819,114 @@ where
     }
 
     report.states = search.states.len();
+    report.bytes_interned = search.states.len() * per_state;
+    report.peak_states = report.peak_states.max(report.states);
     report.elapsed = start.elapsed();
     report
 }
 
-/// The visited set: a state arena plus a fingerprint index into it.
+/// The layered BFS driver for the packed representations. Same merge
+/// discipline as [`search_loop_cloned`]; the arena is a flat fixed-stride
+/// `Vec<u64>` and states are only decoded for the safety check (and on
+/// fingerprint collisions, inside `intern`'s window compare).
+#[allow(clippy::too_many_arguments)]
+fn search_loop_packed<A, F, E>(
+    codec: &Codec<'_, A>,
+    group: &SymmetryGroup,
+    initial: SystemState<A>,
+    health: &[Health],
+    safety: F,
+    limits: Limits,
+    threads: usize,
+    mut expand_layer: E,
+) -> ExplorationReport
+where
+    A: StateCodec,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+    E: FnMut(&[usize], &[u64]) -> Vec<PackedExpansion>,
+{
+    let topo = codec.topology();
+    let start = Instant::now();
+    let mut report = empty_report(threads);
+    let stride = codec.words();
+
+    let check = |state: &SystemState<A>| -> bool {
+        let snap = Snapshot::new(topo, state, health);
+        safety(&snap)
+    };
+
+    // The initial state is checked in its *original* frame, before any
+    // canonicalization: a violation at depth 0 reports the empty trace of
+    // the unpermuted system.
+    if !check(&initial) {
+        report.states = 1;
+        report.peak_states = 1;
+        report.bytes_interned = stride * 8;
+        report.violation = Some(Vec::new());
+        report.elapsed = start.elapsed();
+        return report;
+    }
+
+    let mut search = PackedSearch::new(stride);
+    let packed = codec.encode(&initial);
+    let mut canon = vec![0u64; stride];
+    let mut scratch = vec![0u64; stride];
+    let root_perm = if group.is_trivial() {
+        canon.copy_from_slice(&packed);
+        0
+    } else {
+        canonicalize_into(codec, group, &packed, &mut canon, &mut scratch)
+    };
+    search.intern(&canon, fingerprint_words(&canon), None, root_perm);
+    report.peak_states = 1;
+    // `initial` is recycled as the decode scratch for safety checks.
+    let mut check_state = initial;
+    let mut frontier = vec![0usize];
+
+    'bfs: while !frontier.is_empty() {
+        report.layers += 1;
+        report.peak_frontier = report.peak_frontier.max(frontier.len());
+        let expansions = expand_layer(&frontier, &search.words);
+        let in_flight: usize = expansions.iter().map(|e| e.moves.len()).sum();
+        report.peak_states = report.peak_states.max(search.len() + in_flight);
+        let mut next_frontier = Vec::new();
+        for exp in expansions {
+            if exp.moves.is_empty() {
+                report.deadlocks += 1;
+                continue;
+            }
+            for (k, &(mv, fp, pi)) in exp.moves.iter().enumerate() {
+                report.transitions += 1;
+                let cand = &exp.words[k * stride..(k + 1) * stride];
+                let (idx, is_new) = search.intern(cand, fp, Some((exp.parent, mv)), pi);
+                if !is_new {
+                    report.dedup_hits += 1;
+                    continue;
+                }
+                codec.decode_into(cand, &mut check_state);
+                if !check(&check_state) {
+                    report.violation = Some(rebuild_trace_packed(topo, group, &search, idx));
+                    break 'bfs;
+                }
+                if search.len() >= limits.max_states {
+                    report.truncated = true;
+                    break 'bfs;
+                }
+                next_frontier.push(idx);
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    report.states = search.len();
+    report.bytes_interned = search.words.len() * 8;
+    report.peak_states = report.peak_states.max(report.states);
+    report.elapsed = start.elapsed();
+    report
+}
+
+/// The visited set for [`Reduction::None`]: a cloned-state arena plus a
+/// fingerprint index into it.
 struct Search<A: Algorithm> {
     /// fingerprint -> indices of interned states with that fingerprint.
     ids: FingerprintMap<Vec<usize>>,
@@ -425,6 +972,58 @@ where
     }
 }
 
+/// The visited set for the packed representations: a flat fixed-stride
+/// word arena plus a fingerprint index, parent links and (under
+/// symmetry) the permutation that canonicalized each state.
+struct PackedSearch {
+    stride: usize,
+    ids: FingerprintMap<Vec<usize>>,
+    parents: Vec<Option<(usize, Move)>>,
+    /// Index (into the group's perms) of π with `stored = π · raw`.
+    perms: Vec<u32>,
+    words: Vec<u64>,
+}
+
+impl PackedSearch {
+    fn new(stride: usize) -> Self {
+        PackedSearch {
+            stride,
+            ids: FingerprintMap::default(),
+            parents: Vec::new(),
+            perms: Vec::new(),
+            words: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Intern a packed window: exact dedup by word-for-word compare
+    /// within the fingerprint's bucket.
+    fn intern(
+        &mut self,
+        cand: &[u64],
+        fp: u64,
+        parent: Option<(usize, Move)>,
+        perm: u32,
+    ) -> (usize, bool) {
+        debug_assert_eq!(cand.len(), self.stride);
+        let bucket = self.ids.entry(fp).or_default();
+        for &i in bucket.iter() {
+            if &self.words[i * self.stride..(i + 1) * self.stride] == cand {
+                return (i, false);
+            }
+        }
+        let idx = self.parents.len();
+        bucket.push(idx);
+        self.parents.push(parent);
+        self.perms.push(perm);
+        self.words.extend_from_slice(cand);
+        (idx, true)
+    }
+}
+
 fn fingerprint_state<A: Algorithm>(state: &SystemState<A>) -> u64
 where
     A::Local: Hash,
@@ -441,6 +1040,18 @@ fn enabled_moves<A: Algorithm>(
     needs: &[bool],
 ) -> Vec<Move> {
     let mut moves = Vec::new();
+    enabled_moves_into(alg, topo, state, health, needs, &mut moves);
+    moves
+}
+
+fn enabled_moves_into<A: Algorithm>(
+    alg: &A,
+    topo: &Topology,
+    state: &SystemState<A>,
+    health: &[Health],
+    needs: &[bool],
+    moves: &mut Vec<Move>,
+) {
     for p in topo.processes() {
         if !health[p.index()].is_live() {
             continue;
@@ -462,7 +1073,6 @@ fn enabled_moves<A: Algorithm>(
             }
         }
     }
-    moves
 }
 
 fn apply<A: Algorithm>(
@@ -498,6 +1108,60 @@ fn rebuild_trace(parents: &[Option<(usize, Move)>], mut idx: usize) -> Vec<Move>
         idx = parent;
     }
     trace.reverse();
+    trace
+}
+
+/// Rehydrate a violation trace from a packed (possibly symmetry-reduced)
+/// search into a concrete trace of the original system.
+///
+/// Each stored state `C` satisfies `C = ρ · S`, where `S` is the raw
+/// successor reached from its canonical parent by the stored move and
+/// `ρ` the canonicalizing permutation (for the root, `S` is the original
+/// initial state). Walking root→violation, maintain the frame map
+/// `σ` = "canonical coordinates → original coordinates": at the root
+/// `σ₀ = ρ₀⁻¹`; each stored move (expressed in the canonical parent's
+/// frame) becomes the concrete move `σ(m)`; and after descending through
+/// a child with permutation `ρ`, the frame composes as `σ ← σ ∘ ρ⁻¹`.
+/// By equivariance the resulting moves are enabled in the original
+/// system and end in a state that violates the (symmetric) predicate.
+/// With the identity group every `σ` is the identity and this reduces to
+/// plain parent-link walking.
+fn rebuild_trace_packed(
+    topo: &Topology,
+    group: &SymmetryGroup,
+    search: &PackedSearch,
+    violating: usize,
+) -> Vec<Move> {
+    // Collect the path root..=violating as (state index, move-from-parent).
+    let mut chain: Vec<(usize, Option<Move>)> = Vec::new();
+    let mut i = violating;
+    loop {
+        match search.parents[i] {
+            Some((p, mv)) => {
+                chain.push((i, Some(mv)));
+                i = p;
+            }
+            None => {
+                chain.push((i, None));
+                break;
+            }
+        }
+    }
+    chain.reverse();
+
+    if group.is_trivial() {
+        return chain.iter().filter_map(|&(_, mv)| mv).collect();
+    }
+
+    let inverses: Vec<Perm> = group.perms().iter().map(|p| p.inverse(topo)).collect();
+    let root_perm = search.perms[chain[0].0] as usize;
+    let mut sigma = inverses[root_perm].clone();
+    let mut trace = Vec::with_capacity(chain.len() - 1);
+    for &(idx, mv) in &chain[1..] {
+        let mv = mv.expect("non-root state has a parent move");
+        trace.push(sigma.permute_move(topo, mv));
+        sigma = sigma.compose(topo, &inverses[search.perms[idx] as usize]);
+    }
     trace
 }
 
@@ -656,6 +1320,19 @@ mod tests {
         assert_eq!(search.states.len(), 2);
     }
 
+    #[test]
+    fn packed_interning_resolves_forced_fingerprint_collisions() {
+        let mut search = PackedSearch::new(1);
+        let (ia, new_a) = search.intern(&[3], 42, None, 0);
+        let (ib, new_b) = search.intern(&[5], 42, None, 0);
+        assert!(new_a && new_b);
+        assert_ne!(ia, ib);
+        let (ia2, new_a2) = search.intern(&[3], 42, None, 0);
+        assert_eq!(ia2, ia);
+        assert!(!new_a2);
+        assert_eq!(search.len(), 2);
+    }
+
     /// Reports must agree field-for-field (modulo wall-clock and thread
     /// count).
     fn assert_same_search(a: &ExplorationReport, b: &ExplorationReport) {
@@ -691,6 +1368,8 @@ mod tests {
             rep.dedup_hits + rep.states as u64 - 1,
             "every transition either discovers a state or is a dedup hit"
         );
+        assert!(rep.bytes_interned > 0);
+        assert!(rep.peak_states >= rep.states);
     }
 
     #[test]
@@ -718,7 +1397,8 @@ mod tests {
                 threads,
             );
             assert_same_search(&seq, &par);
-            assert_eq!(par.threads, threads);
+            // Requested threads are clamped to the host's parallelism.
+            assert_eq!(par.threads, threads.min(available_parallelism()));
         }
     }
 
@@ -800,7 +1480,122 @@ mod tests {
             0,
         );
         assert!(report.verified());
-        assert!(report.threads >= 1);
+        assert_eq!(report.threads, available_parallelism());
+    }
+
+    #[test]
+    fn oversubscribed_threads_are_clamped_to_the_host() {
+        // Requesting more workers than cores must not pessimize: the
+        // report reflects the clamp, and on a single-core host the result
+        // is the sequential report itself.
+        let topo = Topology::ring(4);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let par = explore_parallel(
+            &ToyDiners,
+            &topo,
+            initial.clone(),
+            &live(4),
+            &[true; 4],
+            exclusion,
+            Limits::default(),
+            1024,
+        );
+        assert_eq!(par.threads, available_parallelism());
+        let seq = explore(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(4),
+            &[true; 4],
+            exclusion,
+            Limits::default(),
+        );
+        assert_same_search(&seq, &par);
+    }
+
+    #[test]
+    fn packed_matches_cloned_baseline_exactly() {
+        // Reduction::Packed changes only the representation: every
+        // search-shaped report field must equal the cloned baseline's.
+        let topo = Topology::ring(5);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let run = |reduction| {
+            explore_with(
+                &ToyDiners,
+                &topo,
+                initial.clone(),
+                &live(5),
+                &[true; 5],
+                exclusion,
+                ExploreConfig {
+                    reduction,
+                    ..ExploreConfig::default()
+                },
+            )
+        };
+        let cloned = run(Reduction::None);
+        let packed = run(Reduction::Packed);
+        assert_same_search(&cloned, &packed);
+        assert!(
+            packed.bytes_interned * 4 <= cloned.bytes_interned,
+            "packed arena ({}) must be ≥4x smaller than cloned ({})",
+            packed.bytes_interned,
+            cloned.bytes_interned
+        );
+    }
+
+    #[test]
+    fn packed_matches_cloned_on_violation_traces() {
+        let nobody_eats = |snap: &Snapshot<'_, ToyDiners>| {
+            snap.topo
+                .processes()
+                .all(|p| *snap.state.local(p) != Phase::Eating)
+        };
+        let topo = Topology::line(4);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let run = |reduction| {
+            explore_with(
+                &ToyDiners,
+                &topo,
+                initial.clone(),
+                &live(4),
+                &[true; 4],
+                nobody_eats,
+                ExploreConfig {
+                    reduction,
+                    ..ExploreConfig::default()
+                },
+            )
+        };
+        let cloned = run(Reduction::None);
+        let packed = run(Reduction::Packed);
+        assert!(cloned.violation.is_some());
+        assert_same_search(&cloned, &packed);
+    }
+
+    #[test]
+    fn symmetry_on_non_equivariant_algorithm_degrades_to_packed() {
+        // ToyDiners breaks ties by absolute id, so respects_symmetry is
+        // false and Reduction::Symmetry must behave exactly like Packed.
+        let topo = Topology::ring(5);
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let run = |reduction| {
+            explore_with(
+                &ToyDiners,
+                &topo,
+                initial.clone(),
+                &live(5),
+                &[true; 5],
+                exclusion,
+                ExploreConfig {
+                    reduction,
+                    ..ExploreConfig::default()
+                },
+            )
+        };
+        let packed = run(Reduction::Packed);
+        let sym = run(Reduction::Symmetry);
+        assert_same_search(&packed, &sym);
     }
 
     #[test]
@@ -818,5 +1613,6 @@ mod tests {
         );
         let rate = report.states_per_sec();
         assert!(rate.is_finite() && rate >= 0.0);
+        assert!(report.bytes_per_state() > 0.0);
     }
 }

@@ -99,6 +99,22 @@ pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
     h.finish()
 }
 
+/// Fingerprint a packed word slice directly, without going through the
+/// `Hash` machinery. Used by the packed-arena explorer, where states live
+/// as `&[u64]` windows and the per-call overhead of `Hasher::write` would
+/// show up in the interning hot loop.
+#[inline]
+pub fn fingerprint_words(words: &[u64]) -> u64 {
+    let mut h = Fx64::default();
+    for &w in words {
+        h.add(w);
+    }
+    // Fold in the length so a zero-padded prefix cannot alias a shorter
+    // state vector (strides differ across topologies).
+    h.add(words.len() as u64);
+    mix64(h.hash)
+}
+
 /// Identity hasher for keys that are already well-mixed 64-bit
 /// fingerprints: hashing them again would only waste cycles.
 #[derive(Clone, Copy, Debug, Default)]

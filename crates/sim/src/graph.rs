@@ -65,6 +65,36 @@ impl fmt::Debug for EdgeId {
     }
 }
 
+/// The constructor family a [`Topology`] came from.
+///
+/// The symmetry-reduced explorer ([`crate::symmetry`]) uses this to pick
+/// a known automorphism subgroup without solving graph isomorphism:
+/// rings carry their full dihedral group, lines their reflection, stars
+/// the dihedral group on the leaf cycle. Families whose automorphisms
+/// are not enumerated here (grid, complete, tree, random, custom edge
+/// lists) conservatively report only the identity — symmetry reduction
+/// on them is sound but a no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Family {
+    /// [`Topology::ring`].
+    Ring,
+    /// [`Topology::line`].
+    Line,
+    /// [`Topology::star`].
+    Star,
+    /// [`Topology::grid`].
+    Grid,
+    /// [`Topology::complete`].
+    Complete,
+    /// [`Topology::binary_tree`].
+    BinaryTree,
+    /// [`Topology::random_connected`].
+    Random,
+    /// [`Topology::from_edges`] (unknown structure).
+    Custom,
+}
+
 /// An immutable, connected, simple undirected graph over processes
 /// `0..n`, with precomputed distances and diameter.
 ///
@@ -80,6 +110,7 @@ impl fmt::Debug for EdgeId {
 #[derive(Clone, Debug)]
 pub struct Topology {
     n: usize,
+    family: Family,
     /// Sorted adjacency list per process.
     adj: Vec<Vec<ProcessId>>,
     /// Undirected edges as `(lo, hi)` pairs with `lo < hi`, sorted.
@@ -169,6 +200,7 @@ impl Topology {
         }
         Ok(Topology {
             n,
+            family: Family::Custom,
             adj,
             edges,
             edge_of,
@@ -188,6 +220,7 @@ impl Topology {
         assert!(n >= 3, "ring requires at least 3 processes");
         let mut t = Self::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
             .expect("ring is a valid topology");
+        t.family = Family::Ring;
         t.name = format!("ring(n={n})");
         t
     }
@@ -201,6 +234,7 @@ impl Topology {
         assert!(n >= 1, "line requires at least 1 process");
         let mut t = Self::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
             .expect("line is a valid topology");
+        t.family = Family::Line;
         t.name = format!("line(n={n})");
         t
     }
@@ -225,6 +259,7 @@ impl Topology {
             }
         }
         let mut t = Self::from_edges(w * h, edges).expect("grid is a valid topology");
+        t.family = Family::Grid;
         t.name = format!("grid({w}x{h})");
         t
     }
@@ -237,6 +272,7 @@ impl Topology {
     pub fn star(n: usize) -> Self {
         assert!(n >= 2, "star requires at least 2 processes");
         let mut t = Self::from_edges(n, (1..n).map(|i| (0, i))).expect("star is a valid topology");
+        t.family = Family::Star;
         t.name = format!("star(n={n})");
         t
     }
@@ -255,6 +291,7 @@ impl Topology {
             }
         }
         let mut t = Self::from_edges(n, edges).expect("complete graph is a valid topology");
+        t.family = Family::Complete;
         t.name = format!("complete(n={n})");
         t
     }
@@ -272,6 +309,7 @@ impl Topology {
             edges.push(((i - 1) / 2, i));
         }
         let mut t = Self::from_edges(n, edges).expect("tree is a valid topology");
+        t.family = Family::BinaryTree;
         t.name = format!("binary_tree(n={n})");
         t
     }
@@ -301,8 +339,16 @@ impl Topology {
             }
         }
         let mut t = Self::from_edges(n, edges).expect("random graph is a valid topology");
+        t.family = Family::Random;
         t.name = format!("random(n={n},p={p},seed={seed})");
         t
+    }
+
+    /// The constructor family this topology came from (drives the
+    /// automorphism group used by [`crate::symmetry`]).
+    #[inline]
+    pub fn family(&self) -> Family {
+        self.family
     }
 
     /// Human-readable name of the topology family and parameters.

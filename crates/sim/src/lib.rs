@@ -49,6 +49,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod algorithm;
+pub mod codec;
 pub mod engine;
 pub mod explore;
 pub mod fault;
@@ -59,6 +60,7 @@ pub mod predicate;
 pub mod record;
 pub mod rng;
 pub mod scheduler;
+pub mod symmetry;
 pub mod sync;
 pub mod table;
 pub mod telemetry;
@@ -70,15 +72,18 @@ pub mod workload;
 pub use algorithm::{
     ActionId, ActionKind, Algorithm, DinerAlgorithm, Move, Phase, SystemState, View, Write,
 };
+pub use codec::{Codec, StateCodec};
 pub use engine::{Engine, EnumerationMode, RunSummary, StepOutcome};
+pub use explore::{ExploreConfig, Reduction};
 pub use fault::{FaultKind, FaultPlan, Health, Resurrection};
-pub use graph::{EdgeId, ProcessId, Topology};
+pub use graph::{EdgeId, Family, ProcessId, Topology};
 pub use predicate::{Snapshot, StatePredicate};
 pub use record::{
     state_digest, Checkpoint, FlightRecorder, RecordedFault, Recording, ReplayScheduler, Replayer,
     StepDecision,
 };
 pub use scheduler::Scheduler;
+pub use symmetry::{Perm, SymmetryGroup};
 pub use telemetry::{
     Deviation, EventSink, JsonlSink, MetricsRegistry, NetOp, RingSink, Telemetry, TelemetryEvent,
     TelemetryKind,

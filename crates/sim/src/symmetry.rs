@@ -1,0 +1,490 @@
+//! Topology automorphisms and symmetry-reduced state canonicalization.
+//!
+//! Ring states come in rotation/reflection orbits of size up to `2n`; the
+//! plain explorer stores every member of every orbit. When the algorithm
+//! is *equivariant* — permuting a state by a topology automorphism and
+//! taking a step commute ([`StateCodec::respects_symmetry`]) — it suffices
+//! to store one canonical representative per orbit: if the canonical state
+//! satisfies a symmetric safety predicate, so does every orbit member, and
+//! every successor of an orbit member is (up to the same symmetry) a
+//! successor of the representative.
+//!
+//! # Soundness
+//!
+//! Orbit dedup is sound for any *subgroup* of the full automorphism group
+//! (a subgroup partitions states into finer orbits — we may store more
+//! representatives than strictly necessary, never fewer distinct
+//! behaviours). [`SymmetryGroup::for_topology`] therefore enumerates only
+//! the groups we can write down from the constructor family
+//! ([`Family`]): the dihedral group for rings, the reflection for lines,
+//! the dihedral group on the leaf cycle for stars (a subgroup of the full
+//! `(n-1)!` leaf symmetries), and the identity elsewhere. Three more
+//! conditions are required and enforced/documented at the call site:
+//!
+//! * the algorithm is equivariant (checked via
+//!   [`StateCodec::respects_symmetry`], default `false`);
+//! * the automorphism fixes the exploration context — the `needs` mask and
+//!   `health` vector ([`SymmetryGroup::stabilizing`] filters to that
+//!   stabilizer subgroup);
+//! * the safety predicate is symmetric (invariant under the group). This
+//!   cannot be checked mechanically for a closure; it is part of the
+//!   `Reduction::Symmetry` contract and holds for all predicates in this
+//!   repo (exclusion, dead-eater, "nobody eats" are per-edge/per-process
+//!   properties quantified over the whole graph).
+//!
+//! # Canonical form
+//!
+//! [`canonicalize_into`] computes, field-wise in packed space, the
+//! lexicographically least packed word vector over the orbit
+//! `{π·s : π ∈ G}`, and reports *which* π achieved it. The explorer stores
+//! the winning permutation per interned state so a counterexample trace
+//! through canonical states can be rehydrated into a concrete trace of
+//! the original (unpermuted) system — see `explore.rs`.
+
+use crate::algorithm::Move;
+use crate::codec::{Codec, StateCodec};
+use crate::fault::Health;
+use crate::graph::{EdgeId, Family, ProcessId, Topology};
+
+/// A topology automorphism: a relabeling of processes that maps edges to
+/// edges. Also carries the induced edge relabeling, precomputed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Perm {
+    /// `map[p] = π(p)`.
+    map: Vec<ProcessId>,
+    /// `edge_map[e] = π(e)` — the edge between the images of `e`'s
+    /// endpoints.
+    edge_map: Vec<EdgeId>,
+}
+
+impl Perm {
+    /// The identity permutation on `topo`.
+    pub fn identity(topo: &Topology) -> Perm {
+        Perm {
+            map: topo.processes().collect(),
+            edge_map: (0..topo.edge_count()).map(EdgeId).collect(),
+        }
+    }
+
+    /// Build a permutation from `map[p] = π(p)`, verifying it is an
+    /// automorphism of `topo` (a bijection mapping every edge to an edge).
+    /// Returns `None` otherwise.
+    pub fn from_map(topo: &Topology, map: Vec<ProcessId>) -> Option<Perm> {
+        if map.len() != topo.len() {
+            return None;
+        }
+        let mut seen = vec![false; topo.len()];
+        for &q in &map {
+            if q.index() >= topo.len() || seen[q.index()] {
+                return None;
+            }
+            seen[q.index()] = true;
+        }
+        let mut edge_map = Vec::with_capacity(topo.edge_count());
+        for &(a, b) in topo.edges() {
+            let e = topo.edge_between(map[a.index()], map[b.index()])?;
+            edge_map.push(e);
+        }
+        Some(Perm { map, edge_map })
+    }
+
+    /// `π(p)`.
+    #[inline]
+    pub fn apply(&self, p: ProcessId) -> ProcessId {
+        self.map[p.index()]
+    }
+
+    /// `π(e)`.
+    #[inline]
+    pub fn apply_edge(&self, e: EdgeId) -> EdgeId {
+        self.edge_map[e.index()]
+    }
+
+    /// Number of processes this permutation acts on.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, p)| p.index() == i)
+    }
+
+    /// Whether the map is empty (never true for a valid topology).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The inverse permutation `π⁻¹`.
+    pub fn inverse(&self, topo: &Topology) -> Perm {
+        let mut map = vec![ProcessId(0); self.map.len()];
+        for (i, &q) in self.map.iter().enumerate() {
+            map[q.index()] = ProcessId(i);
+        }
+        Perm::from_map(topo, map).expect("inverse of an automorphism is an automorphism")
+    }
+
+    /// Composition `self ∘ other`: `p ↦ self(other(p))`.
+    pub fn compose(&self, topo: &Topology, other: &Perm) -> Perm {
+        let map = other.map.iter().map(|&q| self.apply(q)).collect();
+        Perm::from_map(topo, map).expect("composition of automorphisms is an automorphism")
+    }
+
+    /// Rewrite a concrete move through this permutation: the actor becomes
+    /// `π(pid)`, and a per-neighbor slot is remapped so it still denotes
+    /// the *image* of the original neighbor (adjacency lists are sorted,
+    /// so the slot number itself is not invariant).
+    pub fn permute_move(&self, topo: &Topology, m: Move) -> Move {
+        let pid = self.apply(m.pid);
+        let slot = m.action.slot.map(|s| {
+            let q = topo.neighbors(m.pid)[s];
+            topo.slot_of(pid, self.apply(q))
+        });
+        Move {
+            pid,
+            action: crate::algorithm::ActionId {
+                kind: m.action.kind,
+                slot,
+            },
+        }
+    }
+
+    /// Whether this permutation fixes a per-process vector (`v[π(p)] ==
+    /// v[p]` for all `p`): required of the `needs` mask and `health`
+    /// vector for the permutation to be a symmetry of the *search*, not
+    /// just the graph.
+    pub fn fixes<T: PartialEq>(&self, v: &[T]) -> bool {
+        self.map
+            .iter()
+            .enumerate()
+            .all(|(i, &q)| v[i] == v[q.index()])
+    }
+}
+
+/// A set of automorphisms of one topology, identity first. Not
+/// necessarily the full automorphism group — any subgroup gives sound
+/// (if coarser) orbit dedup.
+#[derive(Clone, Debug)]
+pub struct SymmetryGroup {
+    perms: Vec<Perm>,
+}
+
+impl SymmetryGroup {
+    /// The trivial group (identity only).
+    pub fn identity(topo: &Topology) -> SymmetryGroup {
+        SymmetryGroup {
+            perms: vec![Perm::identity(topo)],
+        }
+    }
+
+    /// The automorphism subgroup known for `topo`'s constructor family:
+    ///
+    /// | family | group | order |
+    /// |---|---|---|
+    /// | ring(n) | dihedral (rotations + reflections) | 2n |
+    /// | line(n) | end-to-end reflection | 2 |
+    /// | star(n) | dihedral on the leaf cycle `1..n` | 2(n−1) |
+    /// | others | identity | 1 |
+    ///
+    /// Small degenerate cases (line(1), star(2), …) deduplicate to
+    /// whatever distinct permutations exist; the identity is always
+    /// element 0.
+    pub fn for_topology(topo: &Topology) -> SymmetryGroup {
+        let n = topo.len();
+        let mut maps: Vec<Vec<ProcessId>> = Vec::new();
+        match topo.family() {
+            Family::Ring => {
+                for k in 0..n {
+                    maps.push((0..n).map(|p| ProcessId((p + k) % n)).collect());
+                    maps.push((0..n).map(|p| ProcessId((k + n - p) % n)).collect());
+                }
+            }
+            Family::Line => {
+                maps.push((0..n).map(|p| ProcessId(n - 1 - p)).collect());
+            }
+            Family::Star if n >= 3 => {
+                // Hub 0 fixed; leaves 1..n permuted like a ring of n-1.
+                let l = n - 1;
+                let leaf = |x: usize| ProcessId(1 + x);
+                for k in 0..l {
+                    let mut rot = vec![ProcessId(0)];
+                    rot.extend((0..l).map(|x| leaf((x + k) % l)));
+                    maps.push(rot);
+                    let mut refl = vec![ProcessId(0)];
+                    refl.extend((0..l).map(|x| leaf((k + l - x) % l)));
+                    maps.push(refl);
+                }
+            }
+            _ => {}
+        }
+        let mut perms = vec![Perm::identity(topo)];
+        for map in maps {
+            let perm = Perm::from_map(topo, map)
+                .expect("family generator must be an automorphism of its own topology");
+            if !perms.contains(&perm) {
+                perms.push(perm);
+            }
+        }
+        SymmetryGroup { perms }
+    }
+
+    /// The stabilizer subgroup fixing the exploration context: keeps only
+    /// permutations under which both the `needs` mask and the `health`
+    /// vector are invariant. (A subgroup: identity fixes everything, and
+    /// the fixing property is closed under composition and inverse.)
+    pub fn stabilizing(&self, needs: &[bool], health: &[Health]) -> SymmetryGroup {
+        let perms = self
+            .perms
+            .iter()
+            .filter(|perm| perm.fixes(needs) && perm.fixes(health))
+            .cloned()
+            .collect();
+        SymmetryGroup { perms }
+    }
+
+    /// The permutations, identity first.
+    #[inline]
+    pub fn perms(&self) -> &[Perm] {
+        &self.perms
+    }
+
+    /// Group order (≥ 1).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Whether only the identity remains.
+    #[inline]
+    pub fn is_trivial(&self) -> bool {
+        self.perms.len() == 1
+    }
+}
+
+/// Apply permutation `perm` to the packed state `src`, writing the packed
+/// result to `dst`: field `p` of the result is the (value-permuted) field
+/// `π⁻¹(p)` of the source — equivalently, source field `p` lands at
+/// `π(p)`. Works entirely in packed space; only fields whose *values*
+/// embed process ids are round-tripped through the codec's permute hooks.
+pub fn permute_packed<A: StateCodec>(
+    codec: &Codec<'_, A>,
+    perm: &Perm,
+    src: &[u64],
+    dst: &mut [u64],
+) {
+    let topo = codec.topology();
+    dst.fill(0);
+    for p in topo.processes() {
+        let v = codec.get_local(src, p);
+        let v = codec.alg().permute_local(topo, perm, p, &v);
+        codec.set_local(dst, perm.apply(p), &v);
+    }
+    for i in 0..topo.edge_count() {
+        let e = EdgeId(i);
+        let v = codec.get_edge(src, e);
+        let v = codec.alg().permute_edge(topo, perm, e, &v);
+        codec.set_edge(dst, perm.apply_edge(e), &v);
+    }
+}
+
+/// Canonicalize a packed state under `group`: writes the lexicographically
+/// least permuted image into `canonical` and returns the index (into
+/// `group.perms()`) of the permutation π achieving it, i.e.
+/// `canonical = π · src`. `scratch` must be one stride long and is
+/// clobbered. With the trivial group this is a copy and returns 0.
+pub fn canonicalize_into<A: StateCodec>(
+    codec: &Codec<'_, A>,
+    group: &SymmetryGroup,
+    src: &[u64],
+    canonical: &mut [u64],
+    scratch: &mut [u64],
+) -> u32 {
+    canonical.copy_from_slice(src);
+    let mut best = 0u32;
+    for (i, perm) in group.perms().iter().enumerate().skip(1) {
+        permute_packed(codec, perm, src, scratch);
+        if scratch[..] < canonical[..] {
+            canonical.copy_from_slice(scratch);
+            best = i as u32;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{ActionId, Phase, SystemState};
+    use crate::graph::Topology;
+    use crate::toy::ToyDiners;
+
+    #[test]
+    fn identity_group_for_unlisted_families() {
+        for topo in [
+            Topology::grid(3, 3),
+            Topology::complete(4),
+            Topology::binary_tree(7),
+            Topology::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap(),
+        ] {
+            let g = SymmetryGroup::for_topology(&topo);
+            assert!(g.is_trivial(), "{} should get the identity", topo.name());
+            assert!(g.perms()[0].is_identity());
+        }
+    }
+
+    #[test]
+    fn ring_group_is_dihedral_of_order_2n() {
+        for n in [3usize, 4, 5, 8] {
+            let topo = Topology::ring(n);
+            let g = SymmetryGroup::for_topology(&topo);
+            assert_eq!(g.order(), 2 * n, "ring({n})");
+            assert!(g.perms()[0].is_identity());
+        }
+    }
+
+    #[test]
+    fn line_group_is_reflection() {
+        let topo = Topology::line(5);
+        let g = SymmetryGroup::for_topology(&topo);
+        assert_eq!(g.order(), 2);
+        let r = &g.perms()[1];
+        assert_eq!(r.apply(ProcessId(0)), ProcessId(4));
+        assert_eq!(r.apply(ProcessId(2)), ProcessId(2));
+    }
+
+    #[test]
+    fn star_group_is_dihedral_on_leaves() {
+        let topo = Topology::star(5); // hub + 4 leaves
+        let g = SymmetryGroup::for_topology(&topo);
+        assert_eq!(g.order(), 8);
+        for perm in g.perms() {
+            assert_eq!(perm.apply(ProcessId(0)), ProcessId(0), "hub is fixed");
+        }
+    }
+
+    #[test]
+    fn from_map_rejects_non_automorphisms() {
+        let topo = Topology::line(3);
+        // Swapping an end with the middle breaks adjacency.
+        let bad = vec![ProcessId(1), ProcessId(0), ProcessId(2)];
+        assert!(Perm::from_map(&topo, bad).is_none());
+        // Not a bijection.
+        let dup = vec![ProcessId(0), ProcessId(0), ProcessId(2)];
+        assert!(Perm::from_map(&topo, dup).is_none());
+    }
+
+    #[test]
+    fn inverse_and_compose_are_consistent() {
+        let topo = Topology::ring(6);
+        let g = SymmetryGroup::for_topology(&topo);
+        for perm in g.perms() {
+            let inv = perm.inverse(&topo);
+            assert!(perm.compose(&topo, &inv).is_identity());
+            assert!(inv.compose(&topo, perm).is_identity());
+        }
+    }
+
+    #[test]
+    fn edge_map_tracks_endpoint_images() {
+        let topo = Topology::ring(5);
+        let g = SymmetryGroup::for_topology(&topo);
+        for perm in g.perms() {
+            for (i, &(a, b)) in topo.edges().iter().enumerate() {
+                let e = perm.apply_edge(EdgeId(i));
+                let (x, y) = topo.edges()[e.index()];
+                let (pa, pb) = (perm.apply(a), perm.apply(b));
+                assert!(
+                    (x, y) == (pa, pb) || (x, y) == (pb, pa),
+                    "edge image mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stabilizer_filters_by_needs_and_health() {
+        let topo = Topology::ring(4);
+        let g = SymmetryGroup::for_topology(&topo);
+        assert_eq!(g.order(), 8);
+        // Only p0 needs: stabilizer must fix p0 — identity and the
+        // reflection through p0.
+        let needs = [true, false, false, false];
+        let s = g.stabilizing(&needs, &[Health::Live; 4]);
+        assert_eq!(s.order(), 2);
+        for perm in s.perms() {
+            assert_eq!(perm.apply(ProcessId(0)), ProcessId(0));
+        }
+        // A dead process likewise breaks rotations.
+        let mut health = [Health::Live; 4];
+        health[2] = Health::Dead;
+        let s2 = g.stabilizing(&[true; 4], &health);
+        assert_eq!(s2.order(), 2);
+    }
+
+    #[test]
+    fn permute_move_remaps_slots() {
+        let topo = Topology::ring(4);
+        let g = SymmetryGroup::for_topology(&topo);
+        // Rotation by 1.
+        let rot = g
+            .perms()
+            .iter()
+            .find(|p| {
+                p.apply(ProcessId(0)) == ProcessId(1) && p.apply(ProcessId(1)) == ProcessId(2)
+            })
+            .unwrap();
+        // p0's slot pointing at neighbor p1 must become p1's slot
+        // pointing at neighbor p2.
+        let slot01 = topo.slot_of(ProcessId(0), ProcessId(1));
+        let m = Move {
+            pid: ProcessId(0),
+            action: ActionId::at_slot(0, slot01),
+        };
+        let pm = rot.permute_move(&topo, m);
+        assert_eq!(pm.pid, ProcessId(1));
+        let target = topo.neighbors(ProcessId(1))[pm.action.slot.unwrap()];
+        assert_eq!(target, ProcessId(2));
+    }
+
+    #[test]
+    fn canonicalization_collapses_ring_orbits() {
+        // A single hungry process on a ring: all n placements are in one
+        // rotation orbit, so all must canonicalize to the same packed word.
+        let topo = Topology::ring(6);
+        let codec = Codec::new(&ToyDiners, &topo);
+        let group = SymmetryGroup::for_topology(&topo);
+        let stride = codec.words();
+        let mut canon = vec![0u64; stride];
+        let mut scratch = vec![0u64; stride];
+        let mut first: Option<Vec<u64>> = None;
+        for p in topo.processes() {
+            let mut s = SystemState::initial(&ToyDiners, &topo);
+            *s.local_mut(p) = Phase::Hungry;
+            let packed = codec.encode(&s);
+            let pi = canonicalize_into(&codec, &group, &packed, &mut canon, &mut scratch);
+            // canonical = π · src must hold.
+            permute_packed(&codec, &group.perms()[pi as usize], &packed, &mut scratch);
+            assert_eq!(scratch, canon, "winner permutation must reproduce canon");
+            match &first {
+                None => first = Some(canon.clone()),
+                Some(f) => assert_eq!(&canon, f, "orbit member at {p} disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalization_with_identity_group_is_a_copy() {
+        let topo = Topology::grid(2, 3);
+        let codec = Codec::new(&ToyDiners, &topo);
+        let group = SymmetryGroup::for_topology(&topo);
+        let mut s = SystemState::initial(&ToyDiners, &topo);
+        *s.local_mut(ProcessId(3)) = Phase::Eating;
+        let packed = codec.encode(&s);
+        let mut canon = vec![0u64; codec.words()];
+        let mut scratch = vec![0u64; codec.words()];
+        let pi = canonicalize_into(&codec, &group, &packed, &mut canon, &mut scratch);
+        assert_eq!(pi, 0);
+        assert_eq!(canon, packed);
+    }
+}

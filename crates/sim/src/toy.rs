@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::algorithm::{ActionId, ActionKind, Algorithm, DinerAlgorithm, Phase, View, Write};
+use crate::codec::{phase_from_bits, phase_to_bits, StateCodec};
 use crate::graph::{EdgeId, ProcessId, Topology};
 
 /// The simplest id-priority diner; see the module docs.
@@ -101,6 +102,36 @@ impl DinerAlgorithm for ToyDiners {
     fn phase(&self, local: &Phase) -> Phase {
         *local
     }
+}
+
+/// 2 bits per process (the phase), nothing per edge. The whole toy-ring(12)
+/// state packs into 24 bits of one `u64`.
+///
+/// `respects_symmetry` stays at its `false` default: the `enter` guard
+/// breaks ties by absolute process id (`q < p`), so rotating a ring state
+/// changes which process may move — the toy diner is *not* equivariant.
+impl StateCodec for ToyDiners {
+    fn local_bits(&self, _topo: &Topology) -> u32 {
+        2
+    }
+
+    fn edge_bits(&self, _topo: &Topology) -> u32 {
+        0
+    }
+
+    fn encode_local(&self, _topo: &Topology, _p: ProcessId, local: &Phase) -> u64 {
+        phase_to_bits(*local)
+    }
+
+    fn decode_local(&self, _topo: &Topology, _p: ProcessId, bits: u64) -> Phase {
+        phase_from_bits(bits)
+    }
+
+    fn encode_edge(&self, _topo: &Topology, _e: EdgeId, _value: &()) -> u64 {
+        0
+    }
+
+    fn decode_edge(&self, _topo: &Topology, _e: EdgeId, _bits: u64) {}
 }
 
 #[cfg(test)]

@@ -1,0 +1,537 @@
+//! Differential verification of the explorer's state representations.
+//!
+//! [`Reduction::Packed`] is a pure representation change: the packed
+//! search must produce a **bit-identical report** (states, transitions,
+//! deadlocks, layers, dedup, violation trace, truncation point) to the
+//! cloned-state baseline, on every algorithm × topology family. The
+//! suites here sweep that equivalence, plus codec round-trips from
+//! randomly corrupted states.
+//!
+//! [`Reduction::Symmetry`] changes the *quotient* that is explored, so
+//! only verdicts are comparable: verified / violation-found / truncated
+//! and deadlock-freedom must agree with the unreduced search, state
+//! counts must shrink by roughly the stabilized group order, and any
+//! counterexample trace must be a *valid concrete trace of the original
+//! system* — replayed here move by move against the guards.
+
+use diners_core::MaliciousCrashDiners;
+use diners_sim::algorithm::{Algorithm, Move, Phase, SystemState, View, Write};
+use diners_sim::codec::{Codec, StateCodec};
+use diners_sim::explore::{explore_with, ExplorationReport, ExploreConfig, Limits, Reduction};
+use diners_sim::fault::Health;
+use diners_sim::graph::{ProcessId, Topology};
+use diners_sim::predicate::Snapshot;
+use diners_sim::toy::ToyDiners;
+
+fn live(n: usize) -> Vec<Health> {
+    vec![Health::Live; n]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run<A, F>(
+    alg: &A,
+    topo: &Topology,
+    initial: SystemState<A>,
+    health: &[Health],
+    needs: &[bool],
+    safety: F,
+    limits: Limits,
+    reduction: Reduction,
+) -> ExplorationReport
+where
+    A: StateCodec + Sync,
+    A::Local: std::hash::Hash + Eq + Send + Sync,
+    A::Edge: std::hash::Hash + Eq + Send + Sync,
+    F: Fn(&Snapshot<'_, A>) -> bool,
+{
+    explore_with(
+        alg,
+        topo,
+        initial,
+        health,
+        needs,
+        safety,
+        ExploreConfig {
+            limits,
+            reduction,
+            threads: 1,
+        },
+    )
+}
+
+/// Packed vs cloned must agree on every search-shaped field.
+fn assert_bit_identical(cloned: &ExplorationReport, packed: &ExplorationReport, ctx: &str) {
+    assert_eq!(cloned.states, packed.states, "{ctx}: states");
+    assert_eq!(cloned.transitions, packed.transitions, "{ctx}: transitions");
+    assert_eq!(cloned.deadlocks, packed.deadlocks, "{ctx}: deadlocks");
+    assert_eq!(cloned.violation, packed.violation, "{ctx}: violation");
+    assert_eq!(cloned.truncated, packed.truncated, "{ctx}: truncated");
+    assert_eq!(cloned.layers, packed.layers, "{ctx}: layers");
+    assert_eq!(
+        cloned.peak_frontier, packed.peak_frontier,
+        "{ctx}: peak_frontier"
+    );
+    assert_eq!(cloned.dedup_hits, packed.dedup_hits, "{ctx}: dedup_hits");
+}
+
+fn sweep_topologies() -> Vec<Topology> {
+    vec![
+        Topology::line(3),
+        Topology::line(4),
+        Topology::ring(4),
+        Topology::ring(5),
+        Topology::star(4),
+        Topology::star(5),
+        Topology::grid(2, 3),
+    ]
+}
+
+#[test]
+fn packed_is_bit_identical_to_cloned_for_toy_everywhere() {
+    let exclusion = |snap: &Snapshot<'_, ToyDiners>| {
+        snap.topo.edges().iter().all(|&(a, b)| {
+            !(*snap.state.local(a) == Phase::Eating && *snap.state.local(b) == Phase::Eating)
+        })
+    };
+    for topo in sweep_topologies() {
+        let n = topo.len();
+        let initial = SystemState::initial(&ToyDiners, &topo);
+        let cloned = run(
+            &ToyDiners,
+            &topo,
+            initial.clone(),
+            &live(n),
+            &vec![true; n],
+            exclusion,
+            Limits::default(),
+            Reduction::None,
+        );
+        let packed = run(
+            &ToyDiners,
+            &topo,
+            initial,
+            &live(n),
+            &vec![true; n],
+            exclusion,
+            Limits::default(),
+            Reduction::Packed,
+        );
+        assert!(cloned.verified(), "{}: {cloned:?}", topo.name());
+        assert_bit_identical(&cloned, &packed, topo.name());
+        assert!(
+            packed.bytes_interned * 4 <= cloned.bytes_interned,
+            "{}: packed {} vs cloned {} bytes",
+            topo.name(),
+            packed.bytes_interned,
+            cloned.bytes_interned
+        );
+    }
+}
+
+#[test]
+fn packed_is_bit_identical_to_cloned_for_the_paper_algorithm() {
+    let alg = MaliciousCrashDiners::paper();
+    for topo in [Topology::line(3), Topology::ring(3), Topology::ring(4)] {
+        let n = topo.len();
+        let initial = SystemState::initial(&alg, &topo);
+        let cloned = run(
+            &alg,
+            &topo,
+            initial.clone(),
+            &live(n),
+            &vec![true; n],
+            |_| true,
+            Limits::default(),
+            Reduction::None,
+        );
+        let packed = run(
+            &alg,
+            &topo,
+            initial,
+            &live(n),
+            &vec![true; n],
+            |_| true,
+            Limits::default(),
+            Reduction::Packed,
+        );
+        assert_bit_identical(&cloned, &packed, topo.name());
+    }
+}
+
+#[test]
+fn packed_agrees_on_truncation_points() {
+    let alg = MaliciousCrashDiners::paper();
+    let topo = Topology::ring(4);
+    let initial = SystemState::initial(&alg, &topo);
+    let limits = Limits { max_states: 500 };
+    let cloned = run(
+        &alg,
+        &topo,
+        initial.clone(),
+        &live(4),
+        &[true; 4],
+        |_| true,
+        limits,
+        Reduction::None,
+    );
+    let packed = run(
+        &alg,
+        &topo,
+        initial,
+        &live(4),
+        &[true; 4],
+        |_| true,
+        limits,
+        Reduction::Packed,
+    );
+    assert!(cloned.truncated);
+    assert_bit_identical(&cloned, &packed, "truncated ring(4)");
+}
+
+#[test]
+fn packed_agrees_with_a_dead_eater_in_the_mix() {
+    // The health vector gates which processes move; a dead eater prunes
+    // the space asymmetrically and must not perturb the equivalence.
+    let alg = MaliciousCrashDiners::paper();
+    let topo = Topology::line(4);
+    let mut initial = SystemState::initial(&alg, &topo);
+    for p in topo.processes() {
+        initial.local_mut(p).phase = Phase::Hungry;
+    }
+    initial.local_mut(ProcessId(0)).phase = Phase::Eating;
+    let mut health = live(4);
+    health[0] = Health::Dead;
+    let cloned = run(
+        &alg,
+        &topo,
+        initial.clone(),
+        &health,
+        &[true; 4],
+        |_| true,
+        Limits::default(),
+        Reduction::None,
+    );
+    let packed = run(
+        &alg,
+        &topo,
+        initial,
+        &health,
+        &[true; 4],
+        |_| true,
+        Limits::default(),
+        Reduction::Packed,
+    );
+    assert_bit_identical(&cloned, &packed, "dead eater line(4)");
+}
+
+/// Verdict-level agreement for the symmetry quotient: same
+/// verified/violated/truncated outcome and the same deadlock-freedom
+/// boolean (counts legitimately differ — one representative per orbit).
+fn assert_same_verdict(full: &ExplorationReport, sym: &ExplorationReport, ctx: &str) {
+    assert_eq!(
+        full.violation.is_some(),
+        sym.violation.is_some(),
+        "{ctx}: violation presence"
+    );
+    assert_eq!(full.truncated, sym.truncated, "{ctx}: truncated");
+    assert_eq!(
+        full.deadlocks == 0,
+        sym.deadlocks == 0,
+        "{ctx}: deadlock freedom"
+    );
+    assert!(
+        sym.states <= full.states,
+        "{ctx}: a quotient cannot be larger"
+    );
+}
+
+#[test]
+fn symmetry_verdicts_agree_and_rings_shrink_by_at_least_half_n() {
+    // The paper's algorithm is equivariant; on a ring with uniform needs
+    // and health the stabilized group is the full dihedral group of
+    // order 2n, so the orbit quotient must cut the state count by at
+    // least n/2 (most orbits have the full 2n elements).
+    let alg = MaliciousCrashDiners::paper();
+    for n in [3usize, 4] {
+        let topo = Topology::ring(n);
+        let initial = SystemState::initial(&alg, &topo);
+        let full = run(
+            &alg,
+            &topo,
+            initial.clone(),
+            &live(n),
+            &vec![true; n],
+            |_| true,
+            Limits::default(),
+            Reduction::Packed,
+        );
+        let sym = run(
+            &alg,
+            &topo,
+            initial,
+            &live(n),
+            &vec![true; n],
+            |_| true,
+            Limits::default(),
+            Reduction::Symmetry,
+        );
+        assert_same_verdict(&full, &sym, topo.name());
+        assert!(
+            sym.states * (n / 2).max(2) <= full.states,
+            "ring({n}): {} symmetry states vs {} full — reduction below n/2",
+            sym.states,
+            full.states
+        );
+    }
+}
+
+#[test]
+fn symmetry_verdicts_agree_on_lines_and_stars() {
+    let alg = MaliciousCrashDiners::paper();
+    for topo in [Topology::line(3), Topology::line(4), Topology::star(4)] {
+        let n = topo.len();
+        let initial = SystemState::initial(&alg, &topo);
+        let full = run(
+            &alg,
+            &topo,
+            initial.clone(),
+            &live(n),
+            &vec![true; n],
+            |_| true,
+            Limits::default(),
+            Reduction::Packed,
+        );
+        let sym = run(
+            &alg,
+            &topo,
+            initial,
+            &live(n),
+            &vec![true; n],
+            |_| true,
+            Limits::default(),
+            Reduction::Symmetry,
+        );
+        assert_same_verdict(&full, &sym, topo.name());
+        assert!(
+            sym.states < full.states,
+            "{}: expected a strict reduction, got {} vs {}",
+            topo.name(),
+            sym.states,
+            full.states
+        );
+    }
+}
+
+#[test]
+fn asymmetric_health_shrinks_the_stabilizer_soundly() {
+    // A dead process breaks most of the ring's symmetry: the stabilizer
+    // keeps only automorphisms fixing the health vector. Verdicts must
+    // still agree with the unreduced search.
+    let alg = MaliciousCrashDiners::paper();
+    let topo = Topology::ring(4);
+    let mut initial = SystemState::initial(&alg, &topo);
+    for p in topo.processes() {
+        initial.local_mut(p).phase = Phase::Hungry;
+    }
+    initial.local_mut(ProcessId(0)).phase = Phase::Eating;
+    let mut health = live(4);
+    health[0] = Health::Dead;
+    let full = run(
+        &alg,
+        &topo,
+        initial.clone(),
+        &health,
+        &[true; 4],
+        |_| true,
+        Limits::default(),
+        Reduction::Packed,
+    );
+    let sym = run(
+        &alg,
+        &topo,
+        initial,
+        &health,
+        &[true; 4],
+        |_| true,
+        Limits::default(),
+        Reduction::Symmetry,
+    );
+    // The reflection fixing p0 survives (it maps the dead process to
+    // itself), so some reduction remains — and never an unsound merge.
+    assert_same_verdict(&full, &sym, "ring(4) dead eater");
+}
+
+#[test]
+fn symmetry_truncates_where_the_full_space_is_infinite() {
+    // Seeded priority cycle on ring(3): depths pump without bound, so
+    // both the full and the quotient search must hit the state cap.
+    let alg = MaliciousCrashDiners::paper();
+    let topo = Topology::ring(3);
+    let mut initial = SystemState::initial(&alg, &topo);
+    for i in 0..3 {
+        let a = ProcessId(i);
+        let b = ProcessId((i + 1) % 3);
+        let e = topo.edge_between(a, b).unwrap();
+        initial.edge_mut(e).ancestor = a;
+        initial.local_mut(a).phase = Phase::Hungry;
+    }
+    let limits = Limits { max_states: 20_000 };
+    let full = run(
+        &alg,
+        &topo,
+        initial.clone(),
+        &live(3),
+        &[true; 3],
+        |_| true,
+        limits,
+        Reduction::Packed,
+    );
+    let sym = run(
+        &alg,
+        &topo,
+        initial,
+        &live(3),
+        &[true; 3],
+        |_| true,
+        limits,
+        Reduction::Symmetry,
+    );
+    assert!(full.truncated && sym.truncated);
+}
+
+/// Replay a move sequence against the real guards: every move must be
+/// enabled in the state it fires from. Returns the final state.
+fn replay<A: Algorithm>(
+    alg: &A,
+    topo: &Topology,
+    mut state: SystemState<A>,
+    needs: &[bool],
+    trace: &[Move],
+) -> SystemState<A> {
+    for (i, mv) in trace.iter().enumerate() {
+        let writes: Vec<Write<A>> = {
+            let view = View::new(topo, &state, mv.pid, needs[mv.pid.index()]);
+            assert!(
+                alg.enabled(&view, mv.action),
+                "trace step {i}: {mv:?} not enabled"
+            );
+            alg.execute(&view, mv.action)
+        };
+        for w in writes {
+            match w {
+                Write::Local(l) => *state.local_mut(mv.pid) = l,
+                Write::Edge { neighbor, value } => {
+                    let e = topo.edge_between(mv.pid, neighbor).unwrap();
+                    *state.edge_mut(e) = value;
+                }
+            }
+        }
+    }
+    state
+}
+
+#[test]
+fn rehydrated_symmetry_traces_replay_on_the_original_system() {
+    // Force a violation with a *symmetric* predicate ("nobody ever
+    // eats") and check the rehydrated counterexample is a real trace of
+    // the unpermuted system: every move enabled, final state violating.
+    let alg = MaliciousCrashDiners::paper();
+    let nobody_eats = |snap: &Snapshot<'_, MaliciousCrashDiners>| {
+        snap.topo
+            .processes()
+            .all(|p| snap.state.local(p).phase != Phase::Eating)
+    };
+    for topo in [
+        Topology::ring(4),
+        Topology::ring(5),
+        Topology::line(4),
+        Topology::star(4),
+    ] {
+        let n = topo.len();
+        let initial = SystemState::initial(&alg, &topo);
+        let needs = vec![true; n];
+        let sym = run(
+            &alg,
+            &topo,
+            initial.clone(),
+            &live(n),
+            &needs,
+            nobody_eats,
+            Limits::default(),
+            Reduction::Symmetry,
+        );
+        let trace = sym.violation.expect("someone must eventually eat");
+        assert!(!trace.is_empty());
+        let end = replay(&alg, &topo, initial.clone(), &needs, &trace);
+        assert!(
+            !nobody_eats(&Snapshot::new(&topo, &end, &live(n))),
+            "{}: rehydrated trace does not end in a violation",
+            topo.name()
+        );
+        // The unreduced search must find a violation at the same depth
+        // (BFS depth is orbit-invariant).
+        let full = run(
+            &alg,
+            &topo,
+            initial,
+            &live(n),
+            &needs,
+            nobody_eats,
+            Limits::default(),
+            Reduction::Packed,
+        );
+        assert_eq!(
+            full.violation.expect("full search agrees").len(),
+            trace.len(),
+            "{}: shortest-counterexample depth differs",
+            topo.name()
+        );
+    }
+}
+
+#[test]
+fn toy_codec_round_trips_from_random_corrupted_states() {
+    let mut rng = diners_sim::rng::rng(7);
+    for topo in sweep_topologies() {
+        let codec = Codec::new(&ToyDiners, &topo);
+        for _ in 0..50 {
+            let mut s = SystemState::initial(&ToyDiners, &topo);
+            s.corrupt_all(&ToyDiners, &topo, &mut rng);
+            let packed = codec.encode(&s);
+            assert_eq!(codec.decode(&packed), s, "{}", topo.name());
+        }
+    }
+}
+
+#[test]
+fn parallel_packed_and_symmetry_match_their_sequential_runs() {
+    let alg = MaliciousCrashDiners::paper();
+    let topo = Topology::ring(4);
+    let initial = SystemState::initial(&alg, &topo);
+    for reduction in [Reduction::Packed, Reduction::Symmetry] {
+        let seq = run(
+            &alg,
+            &topo,
+            initial.clone(),
+            &live(4),
+            &[true; 4],
+            |_| true,
+            Limits::default(),
+            reduction,
+        );
+        let par = explore_with(
+            &alg,
+            &topo,
+            initial.clone(),
+            &live(4),
+            &[true; 4],
+            |_| true,
+            ExploreConfig {
+                limits: Limits::default(),
+                reduction,
+                threads: 4,
+            },
+        );
+        assert_bit_identical(&seq, &par, &format!("{reduction:?} parallel"));
+    }
+}

@@ -157,3 +157,64 @@ fn greedy_violation_traces_agree_between_representations() {
     assert_eq!(cloned.states, packed.states);
     assert_eq!(cloned.transitions, packed.transitions);
 }
+
+/// Width-fit audit for the baseline codecs: every value of the
+/// corruptible domain encodes within its declared bit width (an
+/// overflow would silently corrupt the neighboring packed field), and
+/// the 3-bit hygienic fork variable round-trips through all 8 of its
+/// combinations on every edge.
+#[test]
+fn baseline_fields_fit_their_declared_widths() {
+    use diners_sim::algorithm::Algorithm;
+    use diners_sim::codec::StateCodec;
+    use diners_sim::graph::EdgeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let fits = |v: u64, bits: u32| bits >= 64 || v >> bits == 0;
+    for topo in families() {
+        // Greedy: 2-bit phases, zero-width edges.
+        let g = GreedyDiners;
+        assert_eq!(g.local_bits(&topo), 2);
+        assert_eq!(g.edge_bits(&topo), 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in topo.processes() {
+            for phase in [Phase::Thinking, Phase::Hungry, Phase::Eating] {
+                let bits = g.encode_local(&topo, p, &phase);
+                assert!(fits(bits, 2));
+                assert_eq!(g.decode_local(&topo, p, bits), phase);
+            }
+            for _ in 0..100 {
+                let phase = g.corrupt_local(&mut rng, &topo, p);
+                assert!(fits(g.encode_local(&topo, p, &phase), 2));
+            }
+        }
+
+        // Hygienic: 2-bit phases, 3-bit fork vars — all 8 combinations.
+        let h = HygienicDiners;
+        assert_eq!(h.local_bits(&topo), 2);
+        assert_eq!(h.edge_bits(&topo), 3);
+        for e in 0..topo.edge_count() {
+            let e = EdgeId(e);
+            let (a, b) = topo.endpoints(e);
+            for fork_at in [a, b] {
+                for dirty in [false, true] {
+                    for req_at in [a, b] {
+                        let v = ForkVar {
+                            fork_at,
+                            dirty,
+                            req_at,
+                        };
+                        let bits = h.encode_edge(&topo, e, &v);
+                        assert!(fits(bits, 3), "fork var {bits:#x} overflows");
+                        assert_eq!(h.decode_edge(&topo, e, bits), v);
+                    }
+                }
+            }
+            for _ in 0..100 {
+                let v = h.corrupt_edge(&mut rng, &topo, e);
+                assert!(fits(h.encode_edge(&topo, e, &v), 3));
+            }
+        }
+    }
+}

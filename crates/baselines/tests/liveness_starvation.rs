@@ -1,0 +1,113 @@
+//! The greedy baseline's planted livelock, found and replayed.
+//!
+//! `GreedyDiners` is deliberately unfair: it has no priority structure,
+//! so a weakly fair daemon can starve a process forever by letting its
+//! neighbor monopolize the table. The liveness checker must *find* that
+//! divergence as a concrete stem+loop counterexample — and the
+//! counterexample must replay move-for-move on a real [`Engine`] driven
+//! by a strict [`ScriptedScheduler`], with the victim never eating.
+//!
+//! This is the negative control for the certification suites in
+//! `diners-core`: the same checker that certifies the paper's algorithm
+//! convergent proves the unfair baseline divergent.
+
+use diners_baselines::greedy::GreedyDiners;
+use diners_sim::algorithm::{Phase, SystemState};
+use diners_sim::engine::Engine;
+use diners_sim::explore::Reduction;
+use diners_sim::fault::Health;
+use diners_sim::graph::{ProcessId, Topology};
+use diners_sim::liveness::{check_liveness, LivenessConfig};
+use diners_sim::scheduler::ScriptedScheduler;
+
+/// `I` = "the victim eats" is avoidable forever on a line(2) under weak
+/// fairness: the neighbor loops join→enter→exit, and the victim —
+/// disabled whenever the neighbor eats — is never continuously enabled,
+/// so fairness never forces it forward. The predicate singles out one
+/// process, so it is *not* symmetric: this must run under
+/// [`Reduction::Packed`].
+#[test]
+fn greedy_starves_a_victim_under_weak_fairness() {
+    let topo = Topology::line(2);
+    let victim = ProcessId(1);
+    let initial = SystemState::initial(&GreedyDiners, &topo);
+    let report = check_liveness(
+        &GreedyDiners,
+        &topo,
+        initial.clone(),
+        &[Health::Live; 2],
+        &[true, true],
+        |snap| *snap.state.local(victim) == Phase::Eating,
+        LivenessConfig {
+            reduction: Reduction::Packed,
+            ..Default::default()
+        },
+    );
+    assert!(
+        !report.certified(),
+        "greedy must not certify victim service"
+    );
+    assert!(!report.truncated, "line(2) greedy graph is tiny");
+    let lasso = report.livelock.as_ref().expect("starvation lasso");
+    assert!(!lasso.cycle.is_empty());
+    assert!(
+        lasso.cycle.iter().all(|m| m.pid != victim),
+        "the victim must not move in its own starvation cycle"
+    );
+
+    // Replay stem + 3 laps of the cycle on a real engine with a strict
+    // scripted daemon: every scripted move must be enabled exactly when
+    // scheduled, and the victim must never reach Eating.
+    let mut script = lasso.stem.clone();
+    for _ in 0..3 {
+        script.extend_from_slice(&lasso.cycle);
+    }
+    let steps = script.len() as u64;
+    let mut engine = Engine::builder(GreedyDiners, topo)
+        .scheduler(ScriptedScheduler::new(script))
+        .build();
+    let summary = engine.run(steps);
+    assert_eq!(summary.executed, steps, "every scripted move must fire");
+    assert_eq!(
+        engine.metrics().eats_of(victim),
+        0,
+        "victim never eats along the counterexample"
+    );
+    assert_eq!(engine.metrics().violation_step_count(), 0);
+}
+
+/// The flip side, certified: "someone eats" *is* reached by every
+/// weakly fair greedy execution — below `I` the phases only move
+/// Thinking→Hungry, so the `¬I` region is a DAG with all exits into
+/// `I`, and the checker proves it (no fair cycle, no stuck state). This
+/// predicate is symmetric, so the symmetry quotient must agree with the
+/// exact search.
+#[test]
+fn greedy_certifies_service_for_somebody() {
+    let topo = Topology::line(2);
+    for reduction in [Reduction::Packed, Reduction::Symmetry] {
+        let initial = SystemState::initial(&GreedyDiners, &topo);
+        let report = check_liveness(
+            &GreedyDiners,
+            &topo,
+            initial,
+            &[Health::Live; 2],
+            &[true, true],
+            |snap| snap.state.locals().contains(&Phase::Eating),
+            LivenessConfig {
+                reduction,
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.certified(),
+            "{reduction:?}: livelock={:?} stuck={:?}",
+            report.livelock,
+            report.stuck
+        );
+        assert!(report.bad_states > 0);
+        if reduction == Reduction::Symmetry {
+            assert_eq!(report.group_order, 2, "line(2) has the swap symmetry");
+        }
+    }
+}

@@ -76,6 +76,12 @@ fn main() {
         recovery.unexpected_giveups,
     );
 
+    let fuzz = diners_bench::experiments::fuzz::run(quick);
+    println!("{}", fuzz.throughput);
+    println!("{}", fuzz.campaign);
+    std::fs::write("BENCH_liveness.json", &fuzz.json).expect("write liveness JSON");
+    println!("wrote BENCH_liveness.json");
+
     let trace = diners_bench::experiments::tracing::run(quick);
     println!("{}", trace.replay);
     println!("{}", trace.blame);

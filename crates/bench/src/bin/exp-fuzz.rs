@@ -1,0 +1,36 @@
+//! T15 — fairness-aware liveness throughput and the deterministic fuzz
+//! harness. Prints the result tables, writes the machine-readable
+//! benchmark JSON, and dumps every shrunk counterexample as a certified
+//! v2 flight recording next to it.
+//!
+//! Flags:
+//!   --quick       reduced budgets (CI smoke)
+//!   --out PATH    where to write the JSON (default BENCH_liveness.json)
+//!   --dump DIR    where to write shrunk recordings (default ".")
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_liveness.json".to_string());
+    let dump = flag("--dump").unwrap_or_else(|| ".".to_string());
+
+    let report = diners_bench::experiments::fuzz::run(quick);
+    println!("{}", report.throughput);
+    println!("{}", report.campaign);
+    std::fs::write(&out, &report.json).expect("write benchmark JSON");
+    println!("wrote {out}");
+    for artifact in &report.artifacts {
+        let path = format!("{dump}/{}.jsonl", artifact.label);
+        std::fs::write(&path, &artifact.jsonl).expect("write shrunk recording");
+        println!(
+            "wrote {path} ({} fault events, {} moves, {} processes, digest {:#x})",
+            artifact.size.0, artifact.size.1, artifact.size.2, artifact.digest
+        );
+    }
+}

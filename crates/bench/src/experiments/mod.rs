@@ -8,6 +8,7 @@ pub mod codec;
 pub mod cycles;
 pub mod daemons;
 pub mod fig2;
+pub mod fuzz;
 pub mod locality;
 pub mod malicious;
 pub mod masking;

@@ -159,3 +159,117 @@ fn rehydrated_symmetry_traces_replay_on_the_engine() {
         assert_eq!(engine.metrics().violation_step_count(), 0);
     }
 }
+
+/// The `depth` field is declared a *full* 32-bit field (34-bit locals):
+/// the paper's depth is unbounded and malicious writes can leave any
+/// `u32` behind, so no narrower width is sound. Round-trip the packed
+/// pipeline at the field-width boundaries — 0, the sign-bit edge
+/// `2^31`, and `u32::MAX` — with staggered per-process values so
+/// cross-word straddling is exercised on every topology shape.
+#[test]
+fn mca_depth_round_trips_at_field_width_boundaries() {
+    let boundaries = [0u32, 1, (1 << 31) - 1, 1 << 31, u32::MAX - 1, u32::MAX];
+    let phases = [Phase::Thinking, Phase::Hungry, Phase::Eating];
+    for alg in [
+        MaliciousCrashDiners::paper(),
+        MaliciousCrashDiners::corrected(),
+    ] {
+        for topo in [Topology::line(3), Topology::ring(4), Topology::star(4)] {
+            let codec = Codec::new(&alg, &topo);
+            let template = SystemState::initial(&alg, &topo);
+            let mut words = vec![0u64; codec.words()];
+            for &depth in &boundaries {
+                for &phase in &phases {
+                    let mut state = template.clone();
+                    for p in topo.processes() {
+                        // Stagger depths so neighboring fields differ and
+                        // straddle 64-bit word boundaries differently.
+                        let d = depth.wrapping_add(p.index() as u32);
+                        let local = state.local_mut(p);
+                        local.depth = d;
+                        local.phase = phase;
+                    }
+                    codec.encode_into(&state, &mut words);
+                    let mut out = template.clone();
+                    codec.decode_into(&words, &mut out);
+                    for p in topo.processes() {
+                        assert_eq!(
+                            out.local(p).depth,
+                            depth.wrapping_add(p.index() as u32),
+                            "{} depth boundary {depth}",
+                            topo.name()
+                        );
+                        assert_eq!(out.local(p).phase, phase);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Width-fit audit: every value the corruptible domain can produce
+/// encodes within its declared bit width. An overflowing field would
+/// silently corrupt its neighbor in the packed word — states would
+/// alias and the explorer's dedup would be unsound.
+#[test]
+fn mca_fields_fit_their_declared_widths_on_the_corruptible_domain() {
+    use diners_sim::algorithm::Algorithm;
+    use diners_sim::codec::StateCodec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    for alg in [
+        MaliciousCrashDiners::paper(),
+        MaliciousCrashDiners::corrected(),
+    ] {
+        for topo in [Topology::line(3), Topology::ring(4), Topology::star(4)] {
+            let local_bits = alg.local_bits(&topo);
+            let edge_bits = alg.edge_bits(&topo);
+            assert_eq!(local_bits, 34, "2-bit phase + full 32-bit depth");
+            assert_eq!(edge_bits, 1, "two-endpoint orientation");
+            let fits = |v: u64, bits: u32| bits >= 64 || v >> bits == 0;
+
+            // Handcrafted extremes: every phase × boundary depth.
+            for phase in [Phase::Thinking, Phase::Hungry, Phase::Eating] {
+                for depth in [0u32, 1 << 31, u32::MAX] {
+                    let local = diners_core::DinerLocal { phase, depth };
+                    for p in topo.processes() {
+                        let bits = alg.encode_local(&topo, p, &local);
+                        assert!(fits(bits, local_bits), "local {bits:#x} overflows");
+                        let back = alg.decode_local(&topo, p, bits);
+                        assert_eq!(back.phase, phase);
+                        assert_eq!(back.depth, depth);
+                    }
+                }
+            }
+
+            // The seeded corruption domain (what transient faults and
+            // lattice sweeps actually inject).
+            let mut rng = StdRng::seed_from_u64(0x5eed);
+            for p in topo.processes() {
+                for _ in 0..500 {
+                    let local = alg.corrupt_local(&mut rng, &topo, p);
+                    let bits = alg.encode_local(&topo, p, &local);
+                    assert!(fits(bits, local_bits));
+                    let back = alg.decode_local(&topo, p, bits);
+                    assert_eq!(back.phase, local.phase);
+                    assert_eq!(back.depth, local.depth);
+                }
+            }
+            for e in 0..topo.edge_count() {
+                let (a, b) = topo.endpoints(EdgeId(e));
+                for anc in [a, b] {
+                    let bits = alg.encode_edge(&topo, EdgeId(e), &PriorityVar::ancestor_is(anc));
+                    assert!(fits(bits, edge_bits), "edge {bits:#x} overflows");
+                    let back = alg.decode_edge(&topo, EdgeId(e), bits);
+                    assert_eq!(back.ancestor, anc);
+                }
+                for _ in 0..100 {
+                    let v = alg.corrupt_edge(&mut rng, &topo, EdgeId(e));
+                    let bits = alg.encode_edge(&topo, EdgeId(e), &v);
+                    assert!(fits(bits, edge_bits));
+                }
+            }
+        }
+    }
+}

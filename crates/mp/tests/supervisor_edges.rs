@@ -1,0 +1,159 @@
+//! Watchdog edge cases: races between the restart budget running out
+//! and a last-gasp heartbeat, and exact determinism of the jittered
+//! restart schedule.
+//!
+//! These are the corners a real deployment hits: a process that limps
+//! back to life at the same tick the supervisor decides to abandon it,
+//! and two replicas of the watchdog that must agree tick-for-tick on
+//! when restarts fire (otherwise a replayed chaos schedule diverges).
+
+use diners_mp::{RestartPolicy, Supervisor, SupervisorAction};
+use diners_sim::fault::Resurrection;
+use diners_sim::graph::ProcessId;
+
+fn policy() -> RestartPolicy {
+    RestartPolicy {
+        probe_timeout: 10,
+        base_backoff: 2,
+        max_backoff: 16,
+        jitter: 3,
+        max_restarts: 2,
+        snapshot_every: 0,
+        resurrection: Resurrection::Fresh,
+    }
+}
+
+/// Drive `s` with no heartbeats until the first GiveUp, returning the
+/// tick it fired at and the full action log.
+fn run_silent(s: &mut Supervisor, until: u64) -> (Option<u64>, Vec<(u64, SupervisorAction)>) {
+    let mut log = Vec::new();
+    let mut gave_up_at = None;
+    for now in 0..until {
+        for a in s.poll(now) {
+            if matches!(a, SupervisorAction::GiveUp { .. }) && gave_up_at.is_none() {
+                gave_up_at = Some(now);
+            }
+            log.push((now, a));
+        }
+    }
+    (gave_up_at, log)
+}
+
+/// A heartbeat landing on the *same tick* the budget-exhausted timeout
+/// would trip — after the poll already emitted GiveUp — must not revive
+/// the process: abandonment is final, the GiveUp stays exactly one, and
+/// the watchdog goes permanently silent for that process.
+#[test]
+fn heartbeat_after_same_tick_give_up_does_not_resurrect() {
+    let mut s = Supervisor::new(1, policy(), 7);
+    let p = ProcessId(0);
+    let (gave_up_at, log) = run_silent(&mut s, 10_000);
+    let tick = gave_up_at.expect("silent process must be abandoned");
+    let giveups = log
+        .iter()
+        .filter(|(_, a)| matches!(a, SupervisorAction::GiveUp { .. }))
+        .count();
+    assert_eq!(giveups, 1, "exactly one GiveUp for one abandonment");
+    assert!(s.abandoned(p));
+
+    // The patient twitches at the abandonment tick and keeps beating —
+    // too late: no restart, no second give-up, ever.
+    for now in tick..tick + 200 {
+        s.heartbeat(now, p);
+        assert!(
+            s.poll(now).is_empty(),
+            "abandoned process produced an action at tick {now}"
+        );
+    }
+    assert_eq!(s.total_giveups(), 1);
+    assert_eq!(s.restarts_of(p), policy().max_restarts);
+}
+
+/// A heartbeat landing on the same tick *before* the poll that would
+/// abandon the process defers the give-up instead of doubling it: the
+/// timeout window reopens, and when the process falls silent again the
+/// supervisor still emits exactly one GiveUp in total.
+#[test]
+fn same_tick_heartbeat_defers_the_give_up_without_doubling_it() {
+    let mut s = Supervisor::new(1, policy(), 7);
+    let p = ProcessId(0);
+    // Learn when the give-up would fire from an identically-seeded twin.
+    let mut probe = Supervisor::new(1, policy(), 7);
+    let (gave_up_at, _) = run_silent(&mut probe, 10_000);
+    let tick = gave_up_at.expect("twin must abandon");
+
+    let mut giveups = 0u32;
+    let mut deferred_past_tick = false;
+    for now in 0..10_000 {
+        if now == tick {
+            // Last-gasp heartbeat arrives before this tick's poll.
+            s.heartbeat(now, p);
+        }
+        for a in s.poll(now) {
+            if let SupervisorAction::GiveUp { pid } = a {
+                assert_eq!(pid, p);
+                assert!(now > tick, "give-up must be deferred past tick {tick}");
+                deferred_past_tick = true;
+                giveups += 1;
+            }
+        }
+    }
+    assert!(deferred_past_tick, "give-up never happened");
+    assert_eq!(giveups, 1, "deferral must not duplicate the give-up");
+    assert!(s.abandoned(p));
+    // The heartbeat bought time but no extra restart budget.
+    assert_eq!(s.restarts_of(p), policy().max_restarts);
+}
+
+/// Two fresh supervisors with the same seed are bit-identical oracles:
+/// driven by the same heartbeat/poll script they emit the same actions
+/// at the same ticks, and their full jitter tables agree on every
+/// (process, attempt) pair. A different seed shifts at least one entry,
+/// proving the jitter actually depends on the seed.
+#[test]
+fn same_seed_supervisors_agree_on_the_full_restart_schedule() {
+    let n = 4;
+    let script = |s: &mut Supervisor| -> Vec<(u64, SupervisorAction)> {
+        let mut log = Vec::new();
+        for now in 0..2_000 {
+            // Processes 0 and 2 stay healthy; 1 and 3 are silent.
+            if now % 5 == 0 {
+                s.heartbeat(now, ProcessId(0));
+                s.heartbeat(now, ProcessId(2));
+            }
+            for a in s.poll(now) {
+                log.push((now, a));
+            }
+        }
+        log
+    };
+    let mut a = Supervisor::new(n, policy(), 0xfeed);
+    let mut b = Supervisor::new(n, policy(), 0xfeed);
+    let log_a = script(&mut a);
+    let log_b = script(&mut b);
+    assert_eq!(log_a, log_b, "same-seed twins diverged");
+    assert!(
+        log_a
+            .iter()
+            .any(|(_, act)| matches!(act, SupervisorAction::Restart { .. })),
+        "scenario must exercise restarts"
+    );
+
+    // The jitter tables agree entry-for-entry between the twins...
+    for p in 0..n {
+        for attempt in 0..8 {
+            assert_eq!(
+                a.backoff_delay(ProcessId(p), attempt),
+                b.backoff_delay(ProcessId(p), attempt)
+            );
+        }
+    }
+    // ...and a different seed perturbs at least one entry.
+    let c = Supervisor::new(n, policy(), 0xbeef);
+    let differs = (0..n).any(|p| {
+        (0..8).any(|attempt| {
+            a.backoff_delay(ProcessId(p), attempt) != c.backoff_delay(ProcessId(p), attempt)
+        })
+    });
+    assert!(differs, "jitter ignores the seed");
+}

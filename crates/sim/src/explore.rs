@@ -158,11 +158,17 @@ impl ExplorationReport {
     }
 
     /// Distinct states visited per second of wall-clock time (`0.0` when
-    /// the search finished too fast to time).
+    /// the search finished too fast to time — a sub-tick elapsed must not
+    /// turn into an infinite or garbage rate).
     pub fn states_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
-            self.states as f64 / secs
+            let rate = self.states as f64 / secs;
+            if rate.is_finite() {
+                rate
+            } else {
+                0.0
+            }
         } else {
             0.0
         }
@@ -391,7 +397,7 @@ where
 /// The symmetry group actually used for a reduction mode: trivial unless
 /// `Symmetry` was requested *and* the algorithm is equivariant, and then
 /// only the stabilizer of the exploration context.
-fn effective_group<A: StateCodec>(
+pub(crate) fn effective_group<A: StateCodec>(
     alg: &A,
     topo: &Topology,
     needs: &[bool],
@@ -632,16 +638,16 @@ where
 /// the successor's fingerprint and the index of the permutation that
 /// canonicalized it. Plain `u64`/`Move` data — nothing algorithm-typed
 /// crosses the thread boundary.
-struct PackedExpansion {
-    parent: usize,
-    moves: Vec<(Move, u64, u32)>,
-    words: Vec<u64>,
+pub(crate) struct PackedExpansion {
+    pub(crate) parent: usize,
+    pub(crate) moves: Vec<(Move, u64, u32)>,
+    pub(crate) words: Vec<u64>,
 }
 
 /// Reusable scratch for packed expansion: one decoded parent state, one
 /// move buffer and three packed windows, reused across every state the
 /// expander touches (per worker, when parallel).
-struct PackedExpander<'a, A: StateCodec> {
+pub(crate) struct PackedExpander<'a, A: StateCodec> {
     alg: &'a A,
     codec: &'a Codec<'a, A>,
     group: &'a SymmetryGroup,
@@ -655,7 +661,7 @@ struct PackedExpander<'a, A: StateCodec> {
 }
 
 impl<'a, A: StateCodec> PackedExpander<'a, A> {
-    fn new(
+    pub(crate) fn new(
         alg: &'a A,
         codec: &'a Codec<'a, A>,
         group: &'a SymmetryGroup,
@@ -678,7 +684,7 @@ impl<'a, A: StateCodec> PackedExpander<'a, A> {
         }
     }
 
-    fn expand(&mut self, arena: &[u64], idx: usize) -> PackedExpansion {
+    pub(crate) fn expand(&mut self, arena: &[u64], idx: usize) -> PackedExpansion {
         let stride = self.codec.words();
         let topo = self.codec.topology();
         let window = &arena[idx * stride..(idx + 1) * stride];
@@ -975,17 +981,17 @@ where
 /// The visited set for the packed representations: a flat fixed-stride
 /// word arena plus a fingerprint index, parent links and (under
 /// symmetry) the permutation that canonicalized each state.
-struct PackedSearch {
-    stride: usize,
-    ids: FingerprintMap<Vec<usize>>,
-    parents: Vec<Option<(usize, Move)>>,
+pub(crate) struct PackedSearch {
+    pub(crate) stride: usize,
+    pub(crate) ids: FingerprintMap<Vec<usize>>,
+    pub(crate) parents: Vec<Option<(usize, Move)>>,
     /// Index (into the group's perms) of π with `stored = π · raw`.
-    perms: Vec<u32>,
-    words: Vec<u64>,
+    pub(crate) perms: Vec<u32>,
+    pub(crate) words: Vec<u64>,
 }
 
 impl PackedSearch {
-    fn new(stride: usize) -> Self {
+    pub(crate) fn new(stride: usize) -> Self {
         PackedSearch {
             stride,
             ids: FingerprintMap::default(),
@@ -995,13 +1001,13 @@ impl PackedSearch {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.parents.len()
     }
 
     /// Intern a packed window: exact dedup by word-for-word compare
     /// within the fingerprint's bucket.
-    fn intern(
+    pub(crate) fn intern(
         &mut self,
         cand: &[u64],
         fp: u64,
@@ -1032,7 +1038,7 @@ where
     fingerprint(&(state.locals(), state.edges()))
 }
 
-fn enabled_moves<A: Algorithm>(
+pub(crate) fn enabled_moves<A: Algorithm>(
     alg: &A,
     topo: &Topology,
     state: &SystemState<A>,
@@ -1044,7 +1050,7 @@ fn enabled_moves<A: Algorithm>(
     moves
 }
 
-fn enabled_moves_into<A: Algorithm>(
+pub(crate) fn enabled_moves_into<A: Algorithm>(
     alg: &A,
     topo: &Topology,
     state: &SystemState<A>,
@@ -1075,7 +1081,7 @@ fn enabled_moves_into<A: Algorithm>(
     }
 }
 
-fn apply<A: Algorithm>(
+pub(crate) fn apply<A: Algorithm>(
     alg: &A,
     topo: &Topology,
     state: &SystemState<A>,
@@ -1126,7 +1132,7 @@ fn rebuild_trace(parents: &[Option<(usize, Move)>], mut idx: usize) -> Vec<Move>
 /// system and end in a state that violates the (symmetric) predicate.
 /// With the identity group every `σ` is the identity and this reduces to
 /// plain parent-link walking.
-fn rebuild_trace_packed(
+pub(crate) fn rebuild_trace_packed(
     topo: &Topology,
     group: &SymmetryGroup,
     search: &PackedSearch,

@@ -264,6 +264,20 @@ impl FaultPlan {
         self.restart(at_step, pid, Resurrection::Arbitrary { seed })
     }
 
+    /// Rebuild a plan from raw events (the shrinker's path: drop or
+    /// weaken events from an existing plan and re-run). Events are
+    /// re-normalized into the same deterministic firing order the
+    /// builders produce, so a plan round-trips through
+    /// [`FaultPlan::events`] unchanged.
+    pub fn from_events(events: impl IntoIterator<Item = FaultEvent>) -> Self {
+        let mut plan = FaultPlan {
+            events: events.into_iter().collect(),
+            ..FaultPlan::default()
+        };
+        plan.normalize();
+        plan
+    }
+
     /// Start the run from a fully arbitrary state (the canonical
     /// stabilization experiment). The corruption is drawn from the
     /// engine's seeded RNG.
@@ -377,6 +391,37 @@ mod tests {
             .transient_global(30);
         let steps: Vec<u64> = p.events().iter().map(|e| e.at_step).collect();
         assert_eq!(steps, vec![10, 30, 50]);
+    }
+
+    /// A plan round-trips through `events()` → `from_events` unchanged
+    /// (the shrinker's drop/weaken path), including re-normalizing
+    /// unsorted input into the builders' firing order.
+    #[test]
+    fn from_events_round_trips_and_renormalizes() {
+        let plan = FaultPlan::new()
+            .crash(50, 1)
+            .malicious_crash(10, 2, 4)
+            .transient_global(30)
+            .restart_fresh(70, 1);
+        let rebuilt = FaultPlan::from_events(plan.events().iter().cloned());
+        assert_eq!(rebuilt.events(), plan.events());
+
+        // Unsorted raw events are normalized to the same firing order.
+        let mut shuffled: Vec<FaultEvent> = plan.events().to_vec();
+        shuffled.reverse();
+        let renorm = FaultPlan::from_events(shuffled);
+        assert_eq!(renorm.events(), plan.events());
+
+        // Dropping an event (the shrinker's ddmin step) keeps the rest.
+        let dropped: Vec<FaultEvent> = plan
+            .events()
+            .iter()
+            .filter(|e| e.at_step != 30)
+            .cloned()
+            .collect();
+        let smaller = FaultPlan::from_events(dropped);
+        assert_eq!(smaller.events().len(), plan.events().len() - 1);
+        assert!(smaller.events().iter().all(|e| e.at_step != 30));
     }
 
     #[test]

@@ -55,11 +55,13 @@ pub mod explore;
 pub mod fault;
 pub mod fingerprint;
 pub mod graph;
+pub mod liveness;
 pub mod metrics;
 pub mod predicate;
 pub mod record;
 pub mod rng;
 pub mod scheduler;
+pub mod shrink;
 pub mod symmetry;
 pub mod sync;
 pub mod table;
@@ -77,6 +79,7 @@ pub use engine::{Engine, EnumerationMode, RunSummary, StepOutcome};
 pub use explore::{ExploreConfig, Reduction};
 pub use fault::{FaultKind, FaultPlan, Health, Resurrection};
 pub use graph::{EdgeId, Family, ProcessId, Topology};
+pub use liveness::{check_liveness, check_liveness_multi, Lasso, LivenessConfig, LivenessReport};
 pub use predicate::{Snapshot, StatePredicate};
 pub use record::{
     state_digest, Checkpoint, FlightRecorder, RecordedFault, Recording, ReplayScheduler, Replayer,

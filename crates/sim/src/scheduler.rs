@@ -313,6 +313,8 @@ impl Scheduler for AdversarialScheduler {
 pub struct ScriptedScheduler {
     script: Vec<Move>,
     pos: usize,
+    lenient: bool,
+    skipped: usize,
     fallback: LeastRecentScheduler,
 }
 
@@ -322,13 +324,34 @@ impl ScriptedScheduler {
         ScriptedScheduler {
             script,
             pos: 0,
+            lenient: false,
+            skipped: 0,
             fallback: LeastRecentScheduler::new(),
+        }
+    }
+
+    /// Replay `script`, silently *skipping* entries whose move is not
+    /// enabled when their turn comes instead of panicking. Deterministic
+    /// given the same engine state, which makes it safe to drive with
+    /// delta-debugged scripts whose remaining moves may no longer chain
+    /// (the shrinker treats a skip-heavy run as a failed reproduction
+    /// rather than an error).
+    pub fn lenient(script: Vec<Move>) -> Self {
+        ScriptedScheduler {
+            lenient: true,
+            ..Self::new(script)
         }
     }
 
     /// How many scripted moves have fired so far.
     pub fn position(&self) -> usize {
-        self.pos
+        self.pos - self.skipped
+    }
+
+    /// How many scripted entries were skipped because their move was not
+    /// enabled (always `0` for the strict constructor).
+    pub fn skipped(&self) -> usize {
+        self.skipped
     }
 
     /// Whether the whole script has been replayed.
@@ -339,13 +362,17 @@ impl ScriptedScheduler {
 
 impl Scheduler for ScriptedScheduler {
     fn pick(&mut self, step: u64, enabled: &[EnabledMove]) -> usize {
-        if self.pos < self.script.len() {
+        while self.pos < self.script.len() {
             let want = self.script[self.pos];
             let found = enabled.iter().position(|m| m.mv == want);
             match found {
                 Some(i) => {
                     self.pos += 1;
-                    i
+                    return i;
+                }
+                None if self.lenient => {
+                    self.pos += 1;
+                    self.skipped += 1;
                 }
                 None => panic!(
                     "scripted move #{} {:?} is not enabled at step {step}; enabled: {:?}",
@@ -354,9 +381,8 @@ impl Scheduler for ScriptedScheduler {
                     enabled.iter().map(|m| m.mv).collect::<Vec<_>>()
                 ),
             }
-        } else {
-            self.fallback.pick(step, enabled)
         }
+        self.fallback.pick(step, enabled)
     }
 
     fn name(&self) -> &str {
@@ -578,5 +604,30 @@ mod tests {
         let mut s = ScriptedScheduler::new(vec![mv(5, 0)]);
         let e = moves(&[0, 1]);
         s.pick(0, &e);
+    }
+
+    /// The lenient constructor skips script entries whose move is not
+    /// currently enabled (counting them) instead of panicking, fires
+    /// the rest in order, and falls back after exhaustion.
+    #[test]
+    fn lenient_scripted_skips_disabled_entries() {
+        let mut s = ScriptedScheduler::lenient(vec![mv(5, 0), mv(1, 0), mv(7, 3), mv(0, 0)]);
+        let e = moves(&[0, 1]);
+        // mv(5,0) is not enabled: skipped, mv(1,0) fires.
+        assert_eq!(s.pick(0, &e), 1);
+        assert_eq!(s.skipped(), 1);
+        assert_eq!(s.position(), 1);
+        // mv(7,3) skipped, mv(0,0) fires; the script is exhausted.
+        assert_eq!(s.pick(1, &e), 0);
+        assert_eq!(s.skipped(), 2);
+        assert!(s.finished());
+        // Deterministic fallback keeps the run going; only scripted
+        // fires count toward the position.
+        let _ = s.pick(2, &e);
+        assert_eq!(s.position(), 2);
+        // A strict scheduler never skips.
+        let mut strict = ScriptedScheduler::new(vec![mv(0, 0)]);
+        strict.pick(0, &e);
+        assert_eq!(strict.skipped(), 0);
     }
 }

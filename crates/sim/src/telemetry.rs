@@ -482,7 +482,7 @@ impl Histogram {
     /// observations fall — bucket-resolution quantile. Returns the exact
     /// max for the overflow bucket, `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return None;
         }
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;

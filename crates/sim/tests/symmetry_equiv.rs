@@ -535,3 +535,111 @@ fn parallel_packed_and_symmetry_match_their_sequential_runs() {
         assert_bit_identical(&seq, &par, &format!("{reduction:?} parallel"));
     }
 }
+
+// ---------------------------------------------------------------------
+// Negative symmetry: topologies with no modeled automorphisms.
+// ---------------------------------------------------------------------
+
+/// [`SymmetryGroup::for_topology`] only models the ring/line/star
+/// families; everything else — grids, trees, random graphs, cliques —
+/// must *truthfully* claim the trivial group. Claiming no symmetry is
+/// always sound (it just forgoes reduction); claiming a spurious
+/// permutation would merge distinct orbits and break verification, so
+/// this is the side that must never be wrong.
+#[test]
+fn unmodeled_topologies_report_the_trivial_group() {
+    use diners_sim::symmetry::SymmetryGroup;
+    for topo in [
+        Topology::grid(2, 3),
+        Topology::grid(3, 3),
+        Topology::binary_tree(6),
+        Topology::complete(4),
+        Topology::random_connected(6, 0.4, 11),
+        Topology::random_connected(7, 0.2, 99),
+    ] {
+        let g = SymmetryGroup::for_topology(&topo);
+        assert!(g.is_trivial(), "{}: order {}", topo.name(), g.order());
+        assert_eq!(g.order(), 1);
+        assert!(g.perms()[0].is_identity());
+        // The stabilizer of a trivial group is trivial too.
+        let n = topo.len();
+        let stab = g.stabilizing(&vec![true; n], &vec![Health::Live; n]);
+        assert_eq!(stab.order(), 1);
+    }
+}
+
+/// Requesting [`Reduction::Symmetry`] on an unmodeled topology must
+/// degrade to exactly the packed search: same canonicalization (the
+/// identity), hence a **bit-identical report** — states, transitions,
+/// layers, dedup, violation trace, everything.
+#[test]
+fn symmetry_on_unmodeled_topologies_is_bit_identical_to_packed() {
+    let alg = MaliciousCrashDiners::paper();
+    for topo in [
+        Topology::grid(2, 2),
+        Topology::binary_tree(5),
+        Topology::random_connected(5, 0.35, 7),
+    ] {
+        let n = topo.len();
+        let nobody_eats = |snap: &Snapshot<'_, MaliciousCrashDiners>| {
+            snap.topo
+                .processes()
+                .all(|p| snap.state.local(p).phase != Phase::Eating)
+        };
+        let reports: Vec<ExplorationReport> = [Reduction::Packed, Reduction::Symmetry]
+            .into_iter()
+            .map(|reduction| {
+                run(
+                    &alg,
+                    &topo,
+                    SystemState::initial(&alg, &topo),
+                    &live(n),
+                    &vec![true; n],
+                    nobody_eats,
+                    Limits { max_states: 50_000 },
+                    reduction,
+                )
+            })
+            .collect();
+        assert_bit_identical(&reports[0], &reports[1], topo.name());
+    }
+}
+
+/// The liveness checker routes through the same `effective_group`
+/// plumbing: on an unmodeled topology a `Symmetry` lasso search runs
+/// with the identity group and reports the same graph counts and
+/// verdict as `Packed`.
+#[test]
+fn liveness_symmetry_on_unmodeled_topologies_degrades_to_packed() {
+    use diners_sim::liveness::{check_liveness, LivenessConfig};
+    let alg = MaliciousCrashDiners::paper();
+    let topo = Topology::grid(2, 2);
+    let n = topo.len();
+    let reports: Vec<_> = [Reduction::Packed, Reduction::Symmetry]
+        .into_iter()
+        .map(|reduction| {
+            check_liveness(
+                &alg,
+                &topo,
+                SystemState::initial(&alg, &topo),
+                &live(n),
+                &vec![true; n],
+                |snap: &Snapshot<'_, MaliciousCrashDiners>| {
+                    snap.topo
+                        .processes()
+                        .any(|p| snap.state.local(p).phase == Phase::Eating)
+                },
+                LivenessConfig {
+                    reduction,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    assert_eq!(reports[1].group_order, 1, "grid must degrade to identity");
+    assert_eq!(reports[0].states, reports[1].states);
+    assert_eq!(reports[0].transitions, reports[1].transitions);
+    assert_eq!(reports[0].sccs, reports[1].sccs);
+    assert_eq!(reports[0].certified(), reports[1].certified());
+    assert_eq!(reports[0].livelock.is_some(), reports[1].livelock.is_some());
+}

@@ -104,4 +104,36 @@ fn main() {
             trace.overhead_pct
         );
     }
+
+    let mon = diners_bench::experiments::monitor::run(quick);
+    println!("{}", mon.detection);
+    println!("{}", mon.fp);
+    println!("{}", mon.overhead);
+    std::fs::write("BENCH_monitor.json", &mon.json).expect("write monitor JSON");
+    println!("wrote BENCH_monitor.json");
+    assert_eq!(
+        mon.undetected, 0,
+        "{} injected violations went unalerted",
+        mon.undetected
+    );
+    assert_eq!(
+        mon.false_positives, 0,
+        "the monitor raised a hard alert on a healthy run"
+    );
+    assert_eq!(
+        mon.cutless_runs, 0,
+        "a monitored sweep run completed no epochs"
+    );
+    if !quick {
+        assert!(
+            mon.healthy_runs >= 100,
+            "only {} healthy runs in the monitor sweep (need ≥ 100)",
+            mon.healthy_runs
+        );
+        assert!(
+            mon.overhead_pct <= 5.0,
+            "monitoring costs {:.2}% (budget 5%)",
+            mon.overhead_pct
+        );
+    }
 }

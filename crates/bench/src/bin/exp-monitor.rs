@@ -1,0 +1,176 @@
+//! T16 tooling — online monitoring from the command line.
+//!
+//! Subcommands:
+//!   bench    run the T16 harness (--quick, --out PATH; the default of
+//!            `exp-monitor` with no arguments): detection latency of
+//!            injected violations, the ≥100-run false-positive sweep,
+//!            and the monitoring-overhead measurement
+//!   --watch  step a monitored, adversary-ridden ring and print a
+//!            periodic status line per chunk (--chunks N, default 20;
+//!            --serve ADDR additionally exposes the monitor's metrics as
+//!            Prometheus text over HTTP while the watch runs)
+//!
+//! `exp-monitor --quick` is the CI smoke; `--watch --serve 127.0.0.1:0`
+//! is the interactive "watch a live run" mode documented in the README.
+
+use diners_sim::fault::FaultPlan;
+use diners_sim::graph::Topology;
+use diners_sim::MetricsServer;
+
+use diners_mp::{AdversaryPlan, MonitorSetup, SimNet};
+
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("exp-monitor: {msg}");
+    std::process::exit(2);
+}
+
+/// A ring(16) under the kitchen-sink link adversary with a malicious
+/// crash, a benign crash and a rebirth scheduled — enough going on that
+/// the status table shows epochs aborting and membership changing.
+fn watch_net(seed: u64) -> SimNet {
+    let mut net = SimNet::with_adversary(
+        Topology::ring(16),
+        FaultPlan::new()
+            .malicious_crash(3_000, 3, 6)
+            .crash(6_000, 9)
+            .restart_fresh(12_000, 9),
+        AdversaryPlan::new()
+            .loss(150)
+            .duplication(150)
+            .delay(150, 4)
+            .reorder(150),
+        seed,
+    );
+    net.enable_monitor(MonitorSetup {
+        epoch_every: 200,
+        slo_wait: 5_000,
+        ..MonitorSetup::default()
+    });
+    net
+}
+
+fn cmd_watch(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let chunks: u64 = match opt(args, "--chunks") {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| die(&format!("--chunks expects an integer, got {v:?}"))),
+        None => {
+            if quick {
+                5
+            } else {
+                20
+            }
+        }
+    };
+    let chunk_steps = 500u64;
+    let server = opt(args, "--serve").map(|addr| {
+        let s =
+            MetricsServer::bind(&addr).unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+        println!("serving metrics at http://{}/metrics", s.addr());
+        s
+    });
+
+    let mut net = watch_net(11);
+    println!(
+        "watching monitored ring(16) under the kitchen-sink adversary \
+         ({chunks} chunks × {chunk_steps} steps)\n"
+    );
+    println!(
+        "{:>8}  {:>6}  {:>5}  {:>6}  {:>5}  {:>5}  {:>4}  {:>8}  {:>8}",
+        "step", "epoch", "cuts", "aborts", "hard", "soft", "dead", "wait p50", "wait p99"
+    );
+    for _ in 0..chunks {
+        net.run(chunk_steps);
+        let mon = net.monitor().expect("monitor attached");
+        let waits = mon.cluster_waits();
+        let q = |p: f64| waits.quantile(p).map_or("-".into(), |v| v.to_string());
+        println!(
+            "{:>8}  {:>6}  {:>5}  {:>6}  {:>5}  {:>5}  {:>4}  {:>8}  {:>8}",
+            net.step_count(),
+            net.snapshot_epoch(),
+            mon.cuts(),
+            mon.aborts(),
+            mon.hard_alerts(),
+            mon.alerts().len() as u64 - mon.hard_alerts(),
+            net.dead_processes().len(),
+            q(0.5),
+            q(0.99),
+        );
+        if let Some(s) = &server {
+            s.publish(net.monitor().expect("monitor attached").registry());
+        }
+    }
+    let mon = net.monitor().expect("monitor attached");
+    println!(
+        "\nfinal: {} cuts, {} aborts, alerts:",
+        mon.cuts(),
+        mon.aborts()
+    );
+    if mon.alerts().is_empty() {
+        println!("  (none)");
+    }
+    for a in mon.alerts() {
+        println!(
+            "  step {:>6} epoch {:>4} {}: {:?}",
+            a.step, a.epoch, a.pid, a.kind
+        );
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
+}
+
+fn cmd_bench(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = opt(args, "--out").unwrap_or_else(|| "BENCH_monitor.json".into());
+    let report = diners_bench::experiments::monitor::run(quick);
+    println!("{}", report.detection);
+    println!("{}", report.fp);
+    println!("{}", report.overhead);
+    std::fs::write(&out, &report.json).expect("write monitor JSON");
+    println!("wrote {out}");
+    assert_eq!(
+        report.undetected, 0,
+        "{} injected violations went unalerted",
+        report.undetected
+    );
+    assert_eq!(
+        report.false_positives, 0,
+        "the monitor raised a hard alert on a healthy run"
+    );
+    assert_eq!(report.cutless_runs, 0, "a sweep run completed no epochs");
+    if !quick {
+        assert!(
+            report.healthy_runs >= 100,
+            "only {} healthy runs in the sweep (need ≥ 100)",
+            report.healthy_runs
+        );
+        assert!(
+            report.overhead_pct <= 5.0,
+            "monitoring costs {:.2}% (budget 5%)",
+            report.overhead_pct
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--watch") || args.iter().any(|a| a == "--serve") {
+        cmd_watch(&args);
+        return;
+    }
+    match args.first().map(String::as_str) {
+        Some("bench") => cmd_bench(&args[1..]),
+        None => cmd_bench(&args),
+        Some(other) if other.starts_with("--") => cmd_bench(&args),
+        Some(other) => die(&format!("unknown subcommand {other:?}")),
+    }
+}

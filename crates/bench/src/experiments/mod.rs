@@ -13,6 +13,7 @@ pub mod locality;
 pub mod malicious;
 pub mod masking;
 pub mod message_passing;
+pub mod monitor;
 pub mod perf;
 pub mod recovery;
 pub mod stabilization;

@@ -18,6 +18,10 @@
 //! | T10  | substrate perf — engine & explorer      | [`experiments::perf`] |
 //! | T11  | observability — telemetry & disturbance | [`experiments::telemetry`] |
 //! | T12  | causal tracing & deterministic replay   | [`experiments::tracing`] |
+//! | T13  | crash recovery & supervision            | [`experiments::recovery`] |
+//! | T14  | explorer compaction (codec & symmetry)  | [`experiments::codec`] |
+//! | T15  | liveness checking, shrinking, fuzz      | [`experiments::fuzz`] |
+//! | T16  | online monitoring & global snapshots    | [`experiments::monitor`] |
 //!
 //! Run them all with `cargo run -p diners-bench --release --bin exp-all`,
 //! or individually via the `exp-*` binaries.

@@ -26,7 +26,14 @@
 //!   backoff restarts, a per-process restart budget, and checksummed
 //!   state snapshots, driving crash-recovery in both [`simnet`] and
 //!   [`runtime`] (stabilization is what makes restarting with fresh,
-//!   stale, or even arbitrary state sound).
+//!   stale, or even arbitrary state sound);
+//! * [`snapshot`] — consistent global snapshots: a Lai–Yang-colored
+//!   Chandy–Lamport variant whose epochs survive message loss,
+//!   duplication and reordering, and abort cleanly on crash/rebirth;
+//! * [`monitor`] — an online observer that assembles completed epochs
+//!   into [`monitor::GlobalCut`]s, cross-checks them against vector
+//!   clocks, and evaluates safety / liveness-SLO / failure-locality
+//!   predicates live, emitting structured alerts and metrics.
 //!
 //! The guarantees here are the message-passing analogues of the paper's:
 //! exclusion and service recover *eventually* after transients and
@@ -40,16 +47,20 @@
 pub mod adversary;
 pub mod kstate;
 pub mod message;
+pub mod monitor;
 pub mod node;
 pub mod runtime;
 pub mod simnet;
+pub mod snapshot;
 pub mod supervisor;
 pub mod vclock;
 
 pub use adversary::{AdversaryPlan, LinkAdversary, NetStats};
 pub use message::LinkMsg;
+pub use monitor::{Alert, GlobalCut, Monitor, MonitorConfig};
 pub use node::{Node, NodeConfig, NodeEvent};
 pub use runtime::ThreadRuntime;
-pub use simnet::SimNet;
+pub use simnet::{MonitorSetup, SimNet};
+pub use snapshot::{LocalSnapshot, SnapAgent, SnapStamp};
 pub use supervisor::{RestartPolicy, Supervisor, SupervisorAction};
 pub use vclock::{NetOp, NetSpan, NetTracer, Stamp, VectorClock};

@@ -47,6 +47,25 @@ pub struct LinkMsg {
 }
 
 impl LinkMsg {
+    /// A fixed benign placeholder message. The snapshot plane uses it
+    /// when the link adversary must judge a control-plane (marker) send
+    /// that carries no data payload: only the loss/duplication/delay/
+    /// reorder verdicts matter, never the content.
+    pub fn probe(me: ProcessId) -> Self {
+        LinkMsg {
+            k: 0,
+            seq: 0,
+            phase: Phase::Thinking,
+            depth: 0,
+            ancestor: me,
+            prio_ver: 0,
+            yield_req: false,
+            has_fork: false,
+            fork_transfer: false,
+            fork_request: false,
+        }
+    }
+
     /// An arbitrary message a maliciously crashing process might emit on
     /// the link to `peer` (uniform over the message domain — including
     /// fake fork transfers, which the fault model permits a faulty sender

@@ -209,6 +209,16 @@ impl Node {
         self.needs = needs;
     }
 
+    /// Fault-injection hook: overwrite the diner phase directly,
+    /// bypassing every protocol rule. The protocol will fight the
+    /// injection on the node's next turn, so experiments that need a
+    /// *sustained* violation re-inject each step. Exists to build broken
+    /// baselines for monitor-detection experiments; never used by the
+    /// protocol itself.
+    pub fn inject_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
     /// Whether this node currently holds the fork on the link to `peer`.
     ///
     /// # Panics

@@ -39,6 +39,7 @@ use diners_sim::Phase;
 use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary, NetStats};
 use crate::message::LinkMsg;
 use crate::node::{Node, NodeConfig, NodeEvent};
+use crate::snapshot::{LocalSnapshot, SnapAgent, SnapStamp};
 use crate::supervisor::{RestartPolicy, Supervisor, SupervisorAction};
 
 /// Cadence (in node ticks) of each thread's self-checkpoint into its
@@ -53,6 +54,24 @@ enum Wire {
         from: ProcessId,
         /// Payload.
         msg: LinkMsg,
+        /// Snapshot color stamp (None when monitoring is off — and on
+        /// byzantine spew, which bypasses the snapshot plane).
+        snap: Option<SnapStamp>,
+    },
+    /// Initiate snapshot epoch `epoch`; `dead` is the membership the
+    /// initiator excluded (their markers will never come).
+    SnapInit {
+        /// Epoch to arm.
+        epoch: u64,
+        /// Processes known-dead at initiation.
+        dead: Vec<ProcessId>,
+    },
+    /// A snapshot marker from a neighbor.
+    Marker {
+        /// Sending node.
+        from: ProcessId,
+        /// Epoch the marker belongs to.
+        epoch: u64,
     },
     /// Halt silently (benign crash).
     Crash,
@@ -135,6 +154,9 @@ struct Shared {
     beats: Vec<AtomicU64>,
     /// Per-node self-checkpoints (most recent [`Node::snapshot_bytes`]).
     snaps: Vec<Mutex<Option<Vec<u8>>>>,
+    /// Completed local snapshots, pushed by node threads as their
+    /// epochs finish; drained by [`ThreadRuntime::snapshot_round`].
+    snapshots: Mutex<Vec<LocalSnapshot>>,
     /// Watchdog bookkeeping: restarts issued / processes abandoned.
     sup_restarts: AtomicU64,
     sup_giveups: AtomicU64,
@@ -170,6 +192,25 @@ impl ThreadRuntime {
         plan: AdversaryPlan,
         seed: u64,
     ) -> Self {
+        Self::spawn_inner(topo, tick, plan, seed, false)
+    }
+
+    /// Like [`ThreadRuntime::spawn_with_adversary`], with the snapshot
+    /// plane attached: data messages carry [`SnapStamp`] colors, markers
+    /// travel as wire messages through their own [`LinkAdversary`]
+    /// (same plan, independent stream), and
+    /// [`ThreadRuntime::snapshot_round`] drives consistent global cuts.
+    pub fn spawn_monitored(topo: Topology, tick: Duration, plan: AdversaryPlan, seed: u64) -> Self {
+        Self::spawn_inner(topo, tick, plan, seed, true)
+    }
+
+    fn spawn_inner(
+        topo: Topology,
+        tick: Duration,
+        plan: AdversaryPlan,
+        seed: u64,
+        monitored: bool,
+    ) -> Self {
         let n = topo.len();
         let shared = Arc::new(Shared {
             phases: (0..n).map(|_| AtomicU8::new(0)).collect(),
@@ -179,6 +220,7 @@ impl ThreadRuntime {
             resyncs: (0..n).map(|_| AtomicU64::new(0)).collect(),
             beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
             snaps: (0..n).map(|_| Mutex::new(None)).collect(),
+            snapshots: Mutex::new(Vec::new()),
             sup_restarts: AtomicU64::new(0),
             sup_giveups: AtomicU64::new(0),
             net: SharedNet::default(),
@@ -202,8 +244,9 @@ impl ThreadRuntime {
             let shared = Arc::clone(&shared);
             let node_seed = rng::subseed(seed, p.index() as u64);
             let node_plan = plan.clone();
+            let snap_n = monitored.then_some(n);
             handles.push(std::thread::spawn(move || {
-                node_thread(cfg, rx, peers, shared, tick, node_seed, node_plan);
+                node_thread(cfg, rx, peers, shared, tick, node_seed, node_plan, snap_n);
             }));
         }
         ThreadRuntime {
@@ -327,6 +370,66 @@ impl ThreadRuntime {
         let _ = self.senders[p.index()].send(Wire::Restart(state));
     }
 
+    /// Drive one snapshot epoch to completion: broadcast the initiation
+    /// to every live node, then wait (up to `deadline`) for all of them
+    /// to finish their local snapshots. Returns the pid-sorted cut, or
+    /// `None` if the round did not complete in time — a node crashed
+    /// mid-round, a spewing malicious node sat on the initiation, or the
+    /// adversary delayed too many markers. The caller aborts by simply
+    /// retrying with a *bumped* epoch number: agents discard the stale
+    /// round when the newer epoch arms (requires
+    /// [`ThreadRuntime::spawn_monitored`]).
+    pub fn snapshot_round(&self, epoch: u64, deadline: Duration) -> Option<Vec<LocalSnapshot>> {
+        let dead: Vec<ProcessId> = self.topo.processes().filter(|&p| self.is_dead(p)).collect();
+        let expected: Vec<ProcessId> = self
+            .topo
+            .processes()
+            .filter(|p| !dead.contains(p))
+            .collect();
+        if expected.is_empty() {
+            return Some(Vec::new());
+        }
+        for &p in &expected {
+            let _ = self.senders[p.index()].send(Wire::SnapInit {
+                epoch,
+                dead: dead.clone(),
+            });
+        }
+        let until = std::time::Instant::now() + deadline;
+        loop {
+            {
+                let mut pool = self
+                    .shared
+                    .snapshots
+                    .lock()
+                    .expect("snapshot pool poisoned");
+                // Older epochs can never complete once a newer one has
+                // been initiated; prune them so the pool stays bounded.
+                pool.retain(|s| s.epoch >= epoch);
+                let done = expected
+                    .iter()
+                    .all(|&p| pool.iter().any(|s| s.pid == p && s.epoch == epoch));
+                if done {
+                    let mut cut: Vec<LocalSnapshot> = Vec::new();
+                    pool.retain(|s| {
+                        if s.epoch == epoch && expected.contains(&s.pid) {
+                            cut.push(s.clone());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    cut.sort_by_key(|s| s.pid.index());
+                    return Some(cut);
+                }
+            }
+            if std::time::Instant::now() >= until {
+                return None;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
     /// Restarts issued by the watchdog so far (0 without supervision).
     pub fn supervisor_restarts(&self) -> u64 {
         self.shared.sup_restarts.load(Ordering::SeqCst)
@@ -379,21 +482,50 @@ struct FaultySender {
     id: ProcessId,
     peers: Vec<(ProcessId, Sender<Wire>)>,
     adversary: LinkAdversary,
-    /// Messages held back by the adversary: `(due_tick, to, msg)`.
-    held: Vec<(u64, ProcessId, LinkMsg)>,
+    /// Messages held back by the adversary: `(due_tick, to, msg, stamp)`.
+    /// The snapshot stamp is fixed at adversary-apply time — a held-back
+    /// copy carries the clock of its *send*, not its release.
+    held: Vec<(u64, ProcessId, LinkMsg, Option<SnapStamp>)>,
+    /// Marker-plane adversary (monitored runtimes only): same plan as
+    /// the data adversary on an independent stream, so marker loss and
+    /// delay are exercised without perturbing data-fault verdicts.
+    marker_adv: Option<LinkAdversary>,
+    /// Markers held back by the marker adversary: `(due_tick, to, epoch)`.
+    held_markers: Vec<(u64, ProcessId, u64)>,
     scratch: Vec<Delivery>,
     /// Aggregate verdict counters, shared with the monitor.
     shared: Shared2,
 }
 
 impl FaultySender {
-    fn raw_send(peers: &[(ProcessId, Sender<Wire>)], id: ProcessId, to: ProcessId, msg: LinkMsg) {
+    fn raw_send(
+        peers: &[(ProcessId, Sender<Wire>)],
+        id: ProcessId,
+        to: ProcessId,
+        msg: LinkMsg,
+        snap: Option<SnapStamp>,
+    ) {
         if let Some((_, tx)) = peers.iter().find(|(q, _)| *q == to) {
-            let _ = tx.send(Wire::Data { from: id, msg });
+            let _ = tx.send(Wire::Data {
+                from: id,
+                msg,
+                snap,
+            });
         }
     }
 
-    fn send_all(&mut self, now: u64, outs: Vec<(ProcessId, LinkMsg)>) {
+    fn raw_marker(peers: &[(ProcessId, Sender<Wire>)], id: ProcessId, to: ProcessId, epoch: u64) {
+        if let Some((_, tx)) = peers.iter().find(|(q, _)| *q == to) {
+            let _ = tx.send(Wire::Marker { from: id, epoch });
+        }
+    }
+
+    fn send_all(
+        &mut self,
+        now: u64,
+        outs: Vec<(ProcessId, LinkMsg)>,
+        mut agent: Option<&mut SnapAgent>,
+    ) {
         for (to, msg) in outs {
             let mut ds = std::mem::take(&mut self.scratch);
             self.adversary.apply(now, self.id, to, msg, false, &mut ds);
@@ -401,14 +533,40 @@ impl FaultySender {
             tally.absorb(&msg, &ds);
             self.shared.net.add(&tally);
             for d in ds.drain(..) {
+                // Stamp each surviving copy (duplicates get distinct
+                // stamps; dropped copies never get one).
+                let snap = agent.as_mut().map(|a| a.on_send());
                 // Real channels are FIFO, so "reordering" is realized as
                 // a little extra hold-back on the affected copy.
                 let jitter = d.reorder_key.map_or(0, |k| k % 3);
                 let due = now + d.delay + jitter;
                 if due <= now {
-                    Self::raw_send(&self.peers, self.id, to, d.msg);
+                    Self::raw_send(&self.peers, self.id, to, d.msg, snap);
                 } else {
-                    self.held.push((due, to, d.msg));
+                    self.held.push((due, to, d.msg, snap));
+                }
+            }
+            self.scratch = ds;
+        }
+    }
+
+    /// Broadcast a marker for `epoch` to `targets` through the marker
+    /// adversary (or directly, for unmonitored runtimes).
+    fn send_markers(&mut self, now: u64, epoch: u64, targets: &[ProcessId]) {
+        for &to in targets {
+            let Some(adv) = self.marker_adv.as_mut() else {
+                Self::raw_marker(&self.peers, self.id, to, epoch);
+                continue;
+            };
+            let mut ds = std::mem::take(&mut self.scratch);
+            adv.apply(now, self.id, to, LinkMsg::probe(self.id), false, &mut ds);
+            for d in ds.drain(..) {
+                let jitter = d.reorder_key.map_or(0, |k| k % 3);
+                let due = now + d.delay + jitter;
+                if due <= now {
+                    Self::raw_marker(&self.peers, self.id, to, epoch);
+                } else {
+                    self.held_markers.push((due, to, epoch));
                 }
             }
             self.scratch = ds;
@@ -420,8 +578,17 @@ impl FaultySender {
         let mut i = 0;
         while i < self.held.len() {
             if self.held[i].0 <= now {
-                let (_, to, msg) = self.held.swap_remove(i);
-                Self::raw_send(&self.peers, self.id, to, msg);
+                let (_, to, msg, snap) = self.held.swap_remove(i);
+                Self::raw_send(&self.peers, self.id, to, msg, snap);
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.held_markers.len() {
+            if self.held_markers[i].0 <= now {
+                let (_, to, epoch) = self.held_markers.swap_remove(i);
+                Self::raw_marker(&self.peers, self.id, to, epoch);
             } else {
                 i += 1;
             }
@@ -438,15 +605,30 @@ fn node_thread(
     tick: Duration,
     seed: u64,
     plan: AdversaryPlan,
+    snap_n: Option<usize>,
 ) {
     let id = cfg.id;
     let mut node = Node::new(cfg.clone());
     let mut rng = rng::rng(seed);
+    // The snapshot agent (monitored runtimes only). It belongs to the
+    // *observer*, not the node: it survives the node's crashes and
+    // rebirths, because its vector clock must stay monotone across
+    // incarnations for cut-consistency checks to mean anything.
+    let mut agent: Option<SnapAgent> = snap_n.map(|n| SnapAgent::new(id, n));
+    // Marker source set for the round in flight; all neighbors until the
+    // first initiation names the dead.
+    let mut snap_expected: Vec<ProcessId> = cfg.neighbors.clone();
+    // After finishing an epoch, keep re-driving its markers for a while:
+    // a peer that lost this node's marker still needs one, and this node
+    // can no longer tell (its own round is closed).
+    let mut marker_tail: Option<(u64, u64)> = None;
     let mut net = FaultySender {
         id,
         peers,
+        marker_adv: snap_n.map(|_| LinkAdversary::new(plan.clone(), rng::subseed(seed, 0x3A7C))),
         adversary: LinkAdversary::new(plan, seed),
         held: Vec::new(),
+        held_markers: Vec::new(),
         scratch: Vec::new(),
         shared: Arc::clone(&shared),
     };
@@ -469,18 +651,53 @@ fn node_thread(
             last_tick = std::time::Instant::now();
             ticks += 1;
             net.flush(ticks);
+            resend_markers(&mut net, agent.as_ref(), &snap_expected, ticks, marker_tail);
             let outs = node.handle(NodeEvent::Tick);
             publish(&node);
-            net.send_all(ticks, outs);
+            net.send_all(ticks, outs, agent.as_mut());
             checkpoint(&node, ticks, &shared);
         }
         let event = match rx.recv_timeout(tick) {
-            Ok(Wire::Data { from, msg }) => Some(NodeEvent::Deliver { from, msg }),
+            Ok(Wire::Data { from, msg, snap }) => {
+                // Snapshot bookkeeping runs *before* the node processes
+                // the message: a red stamp (future color) must force the
+                // recording first (see `crate::snapshot`).
+                if let (Some(a), Some(stamp)) = (agent.as_mut(), &snap) {
+                    a.on_deliver(from, &msg, stamp, &snap_expected, &node);
+                }
+                Some(NodeEvent::Deliver { from, msg })
+            }
+            Ok(Wire::SnapInit { epoch, dead }) => {
+                if let Some(a) = agent.as_mut() {
+                    snap_expected = cfg
+                        .neighbors
+                        .iter()
+                        .copied()
+                        .filter(|q| !dead.contains(q))
+                        .collect();
+                    a.expect(epoch, &snap_expected);
+                    a.record(&node);
+                    if let Some(ep) = a.epoch_in_progress() {
+                        let targets = snap_expected.clone();
+                        net.send_markers(ticks, ep, &targets);
+                    }
+                }
+                None
+            }
+            Ok(Wire::Marker { from, epoch }) => {
+                if let Some(a) = agent.as_mut() {
+                    a.on_marker(from, epoch, &snap_expected, &node);
+                }
+                None
+            }
             Ok(Wire::Crash) => {
                 shared.dead[id.index()].store(true, Ordering::SeqCst);
                 match dead_wait(&rx) {
                     Some(state) => {
                         node = resurrect(&cfg, state, &shared);
+                        if let Some(a) = agent.as_mut() {
+                            a.abort();
+                        }
                         rebirth(&node, &mut net, &shared, &publish);
                         None
                     }
@@ -496,7 +713,14 @@ fn node_thread(
                         use rand::Rng;
                         if rng.gen_bool(0.5) {
                             let msg = LinkMsg::arbitrary(&mut rng, id, *q);
-                            let _ = tx.send(Wire::Data { from: id, msg });
+                            // Unstamped: a faulty process is outside the
+                            // snapshot plane; its garbage cannot merge
+                            // into anyone's clock.
+                            let _ = tx.send(Wire::Data {
+                                from: id,
+                                msg,
+                                snap: None,
+                            });
                         }
                     }
                     std::thread::sleep(tick / 4);
@@ -505,6 +729,9 @@ fn node_thread(
                 match dead_wait(&rx) {
                     Some(state) => {
                         node = resurrect(&cfg, state, &shared);
+                        if let Some(a) = agent.as_mut() {
+                            a.abort();
+                        }
                         rebirth(&node, &mut net, &shared, &publish);
                         None
                     }
@@ -524,6 +751,7 @@ fn node_thread(
             Err(RecvTimeoutError::Timeout) => {
                 ticks += 1;
                 net.flush(ticks);
+                resend_markers(&mut net, agent.as_ref(), &snap_expected, ticks, marker_tail);
                 checkpoint(&node, ticks, &shared);
                 Some(NodeEvent::Tick)
             }
@@ -532,7 +760,41 @@ fn node_thread(
         if let Some(ev) = event {
             let outs = node.handle(ev);
             publish(&node);
-            net.send_all(ticks, outs);
+            net.send_all(ticks, outs, agent.as_mut());
+        }
+        // A finished epoch (recorded + all markers) ships its local
+        // snapshot to the shared pool for `snapshot_round` to assemble.
+        if let Some(s) = agent.as_mut().and_then(SnapAgent::take_completed) {
+            marker_tail = Some((s.epoch, ticks + 64));
+            shared
+                .snapshots
+                .lock()
+                .expect("snapshot pool poisoned")
+                .push(s);
+        }
+    }
+}
+
+/// Re-drive this node's markers while its epoch is open — marker loss
+/// must delay completion, never wedge it — and for a bounded tail after
+/// completion, for peers whose copy of this node's marker was lost.
+fn resend_markers(
+    net: &mut FaultySender,
+    agent: Option<&SnapAgent>,
+    expected: &[ProcessId],
+    ticks: u64,
+    tail: Option<(u64, u64)>,
+) {
+    let Some(a) = agent else { return };
+    if a.recorded() && !a.is_complete() {
+        if let Some(ep) = a.epoch_in_progress() {
+            net.send_markers(ticks, ep, expected);
+        }
+    } else if a.epoch_in_progress().is_none() {
+        if let Some((ep, until)) = tail {
+            if ticks < until {
+                net.send_markers(ticks, ep, expected);
+            }
         }
     }
 }
@@ -722,6 +984,38 @@ mod tests {
             "revived thread never ate again"
         );
         assert_eq!(rt.supervisor_giveups(), 0, "no budget exhaustion here");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn monitored_threads_complete_consistent_rounds() {
+        use crate::monitor::GlobalCut;
+        let rt = ThreadRuntime::spawn_monitored(
+            Topology::ring(4),
+            Duration::from_micros(200),
+            AdversaryPlan::new().loss(100).duplication(100),
+            17,
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        let mut done = 0;
+        for epoch in 1..=20u64 {
+            let Some(snaps) = rt.snapshot_round(epoch, Duration::from_millis(500)) else {
+                continue; // adversary outran the deadline; bumped retry
+            };
+            assert_eq!(snaps.len(), 4, "epoch {epoch} is missing nodes");
+            let cut = GlobalCut {
+                epoch,
+                step: epoch,
+                snaps,
+                dead: Vec::new(),
+            };
+            assert!(cut.consistent(), "epoch {epoch} cut is inconsistent");
+            done += 1;
+            if done >= 5 {
+                break;
+            }
+        }
+        assert!(done >= 5, "only {done}/5 rounds completed in 20 epochs");
         rt.shutdown();
     }
 

@@ -23,7 +23,9 @@ use diners_sim::Phase;
 
 use crate::adversary::{AdversaryPlan, Delivery, LinkAdversary, NetStats};
 use crate::message::LinkMsg;
+use crate::monitor::{GlobalCut, Monitor, MonitorConfig};
 use crate::node::{Node, NodeConfig, NodeEvent};
+use crate::snapshot::{SnapAgent, SnapStamp};
 use crate::supervisor::{RestartPolicy, Supervisor, SupervisorAction};
 use crate::vclock::{NetTracer, Stamp};
 
@@ -47,6 +49,83 @@ struct Queued {
     ready_at: u64,
     /// Vector-clock stamp (None when tracing is off).
     stamp: Option<Stamp>,
+    /// Snapshot-plane color stamp (None when monitoring is off).
+    snap: Option<SnapStamp>,
+}
+
+/// Spread of node record points within an epoch, in steps. Staggered
+/// initiation deliberately exercises the implicit-marker (red-stamp)
+/// path: already-recorded nodes send red traffic at still-white ones.
+const STAGGER: u64 = 8;
+
+/// Steps between marker retransmissions while an epoch is open. Loss of
+/// a marker therefore delays completion by at most this much.
+const MARKER_RESEND: u64 = 8;
+
+/// Configuration for the in-sim monitoring plane
+/// ([`SimNet::enable_monitor`]).
+#[derive(Clone, Debug)]
+pub struct MonitorSetup {
+    /// Steps between the completion of one snapshot epoch and the
+    /// initiation of the next.
+    pub epoch_every: u64,
+    /// Continuous-hunger SLO threshold fed to the [`Monitor`].
+    pub slo_wait: u64,
+    /// Retain every completed [`GlobalCut`] (tests; the default keeps
+    /// only the most recent one).
+    pub keep_cuts: bool,
+}
+
+impl Default for MonitorSetup {
+    fn default() -> Self {
+        MonitorSetup {
+            epoch_every: 500,
+            slo_wait: 20_000,
+            keep_cuts: false,
+        }
+    }
+}
+
+/// A marker in flight on the shadow control plane.
+#[derive(Clone, Copy, Debug)]
+struct MarkerFlight {
+    epoch: u64,
+    ready_at: u64,
+}
+
+/// The monitoring side-car: snapshot agents, a shadow marker network
+/// with its own link adversary, and the predicate monitor.
+///
+/// Observer-effect-freedom is structural: nothing here touches the
+/// net's `rng`, its data queues, or its nodes mutably. Markers ride
+/// shadow queues with the same 2-per-edge indexing as data traffic and
+/// suffer faults from a *second* [`LinkAdversary`] running the same
+/// plan on an independent stream.
+struct MonitorPlane {
+    setup: MonitorSetup,
+    agents: Vec<SnapAgent>,
+    markers: Vec<VecDeque<MarkerFlight>>,
+    marker_adv: LinkAdversary,
+    monitor: Monitor,
+    /// Current (or next, when idle) epoch number.
+    epoch: u64,
+    active: bool,
+    started_at: u64,
+    /// Per-node scheduled record step for the open epoch.
+    init_at: Vec<u64>,
+    /// Step of each node's last marker broadcast in the open epoch.
+    marker_sent_at: Vec<u64>,
+    /// Marker source set armed per node for the open epoch.
+    expected: Vec<Vec<ProcessId>>,
+    /// Markers currently in flight across all shadow queues (lets idle
+    /// and marker-free active steps skip the queue scan).
+    marker_count: usize,
+    /// `Health::Live` bitmap as of the last monitor tick.
+    live: Vec<bool>,
+    next_epoch_at: u64,
+    scratch: Vec<Delivery>,
+    last_cut: Option<GlobalCut>,
+    cuts: Vec<GlobalCut>,
 }
 
 /// A deterministic run of the message-passing diner over a topology.
@@ -78,6 +157,9 @@ pub struct SimNet {
     seed: u64,
     /// Heartbeat watchdog, when [`SimNet::supervise`] was called.
     supervisor: Option<Box<Supervisor>>,
+    /// Snapshot + predicate monitoring side-car, when
+    /// [`SimNet::enable_monitor`] was called.
+    plane: Option<Box<MonitorPlane>>,
     /// Checkpoints scheduled by plan-driven `Restart { Snapshot }`
     /// events, captured `age` steps before the restart fires.
     plan_snaps: Vec<PlanSnap>,
@@ -163,9 +245,89 @@ impl SimNet {
             tracer: None,
             seed,
             supervisor: None,
+            plane: None,
             plan_snaps,
             topo,
         }
+    }
+
+    /// Attach the online monitoring plane: epoch-numbered consistent
+    /// snapshots ([`crate::snapshot`]) assembled into [`GlobalCut`]s and
+    /// evaluated by a [`Monitor`] (safety, liveness SLO, failure
+    /// locality, cut-consistency self-check).
+    ///
+    /// Like tracing, monitoring is observer-effect-free: a monitored run
+    /// is step-identical to an unmonitored twin. Markers travel a shadow
+    /// control plane whose own [`LinkAdversary`] runs this net's plan on
+    /// an independent random stream, so marker loss/duplication/reorder
+    /// is exercised without perturbing data traffic.
+    pub fn enable_monitor(&mut self, setup: MonitorSetup) {
+        if self.plane.is_some() {
+            return;
+        }
+        let n = self.topo.len();
+        let monitor = Monitor::new(
+            self.topo.clone(),
+            MonitorConfig {
+                slo_wait: setup.slo_wait,
+                ..MonitorConfig::default()
+            },
+        );
+        self.plane = Some(Box::new(MonitorPlane {
+            agents: (0..n).map(|i| SnapAgent::new(ProcessId(i), n)).collect(),
+            markers: vec![VecDeque::new(); self.topo.edge_count() * 2],
+            marker_adv: LinkAdversary::new(
+                self.adversary.plan().clone(),
+                rng::subseed(self.seed, 0x5AFE),
+            ),
+            monitor,
+            epoch: 0,
+            active: false,
+            started_at: 0,
+            init_at: vec![0; n],
+            marker_sent_at: vec![0; n],
+            expected: vec![Vec::new(); n],
+            marker_count: 0,
+            live: self
+                .health
+                .iter()
+                .map(|h| matches!(h, Health::Live))
+                .collect(),
+            next_epoch_at: self.step,
+            scratch: Vec::new(),
+            last_cut: None,
+            cuts: Vec::new(),
+            setup,
+        }));
+    }
+
+    /// The attached predicate monitor, if any.
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.plane.as_deref().map(|pl| &pl.monitor)
+    }
+
+    /// The snapshot epoch currently open or most recently assigned
+    /// (0 when monitoring is off or no epoch has started).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.plane.as_deref().map_or(0, |pl| pl.epoch)
+    }
+
+    /// The most recently completed global cut, if any.
+    pub fn last_cut(&self) -> Option<&GlobalCut> {
+        self.plane.as_deref().and_then(|pl| pl.last_cut.as_ref())
+    }
+
+    /// Every completed cut (empty unless [`MonitorSetup::keep_cuts`]).
+    pub fn cuts(&self) -> &[GlobalCut] {
+        self.plane.as_deref().map_or(&[], |pl| &pl.cuts)
+    }
+
+    /// Fault-injection hook: force node `p` into `phase` directly,
+    /// bypassing the protocol. Used by experiments to build a *broken*
+    /// baseline (e.g. two neighbors forced to eat) and measure how fast
+    /// the monitor detects the violation.
+    pub fn inject_phase(&mut self, p: ProcessId, phase: Phase) {
+        self.nodes[p.index()].inject_phase(phase);
     }
 
     /// Attach a heartbeat watchdog: every non-dead node heartbeats each
@@ -356,7 +518,221 @@ impl SimNet {
             }
         }
 
+        self.monitor_tick();
         self.step += 1;
+    }
+
+    /// Drive the monitoring plane one step: membership changes abort an
+    /// open epoch, due markers are delivered, idle planes arm the next
+    /// epoch, open epochs record (staggered) and retransmit markers, and
+    /// a fully completed epoch is assembled into a cut and evaluated.
+    fn monitor_tick(&mut self) {
+        let Some(mut pl) = self.plane.take() else {
+            return;
+        };
+        let now = self.step;
+
+        // Idle plane: nothing is recording and no markers are in flight,
+        // so the only work left is arming the next epoch once the idle
+        // interval elapses. Skipping the per-step membership and marker
+        // scans here (and the per-send stamping, gated on `active` at
+        // the send hook) is what keeps monitoring within T16's overhead
+        // budget between rounds.
+        if !pl.active {
+            if now >= pl.next_epoch_at {
+                pl.live = self
+                    .health
+                    .iter()
+                    .map(|h| matches!(h, Health::Live))
+                    .collect();
+                self.arm_epoch(&mut pl, now);
+            }
+            self.plane = Some(pl);
+            return;
+        }
+
+        // 1. A crash, malicious crash or rebirth mid-round would make
+        // the cut span incarnations: abort, restart under a fresh epoch.
+        let membership_changed = pl
+            .live
+            .iter()
+            .zip(&self.health)
+            .any(|(&l, h)| l != matches!(h, Health::Live));
+        if membership_changed {
+            for a in &mut pl.agents {
+                a.abort();
+            }
+            for q in &mut pl.markers {
+                q.clear();
+            }
+            pl.marker_count = 0;
+            pl.monitor.on_abort(now);
+            pl.active = false;
+            pl.next_epoch_at = now + 1;
+            for (l, h) in pl.live.iter_mut().zip(&self.health) {
+                *l = matches!(h, Health::Live);
+            }
+            self.plane = Some(pl);
+            return;
+        }
+
+        // 2. Deliver due markers (loss already applied at send time;
+        // duplicates and stale epochs are idempotent at the agent). The
+        // in-flight count lets the common nothing-in-flight step skip
+        // the per-queue scan entirely.
+        if pl.marker_count > 0 {
+            for qi in 0..pl.markers.len() {
+                if pl.markers[qi].is_empty() {
+                    continue;
+                }
+                let (from, to) = self.queue_endpoints(qi);
+                while let Some(pos) = pl.markers[qi].iter().position(|m| m.ready_at <= now) {
+                    let mf = pl.markers[qi].remove(pos).expect("index in bounds");
+                    pl.marker_count -= 1;
+                    if pl.live[to.index()] {
+                        let expected = std::mem::take(&mut pl.expected[to.index()]);
+                        pl.agents[to.index()].on_marker(
+                            from,
+                            mf.epoch,
+                            &expected,
+                            &self.nodes[to.index()],
+                        );
+                        pl.expected[to.index()] = expected;
+                    }
+                }
+            }
+        }
+
+        // 3. Drive the open epoch: staggered recording, marker
+        // (re)transmission through the shadow adversary.
+        for i in 0..pl.agents.len() {
+            if !pl.live[i] {
+                continue;
+            }
+            if !pl.agents[i].recorded() && now >= pl.init_at[i] {
+                pl.agents[i].record(&self.nodes[i]);
+            }
+            // Markers go out the instant a node is recorded — no
+            // matter whether its own schedule, a peer's marker, or a
+            // red data stamp triggered the recording — and are
+            // re-driven on a fixed cadence against marker loss.
+            let due = pl.marker_sent_at[i] == u64::MAX
+                || now.saturating_sub(pl.marker_sent_at[i]) >= MARKER_RESEND;
+            if pl.agents[i].recorded() && due {
+                pl.marker_sent_at[i] = now;
+                let peers = pl.expected[i].clone();
+                for q in peers {
+                    self.send_marker(&mut pl, ProcessId(i), q, now);
+                }
+            }
+        }
+
+        // 4. Completion: every live agent recorded and saw all markers.
+        if pl
+            .agents
+            .iter()
+            .enumerate()
+            .all(|(i, a)| !pl.live[i] || a.is_complete())
+        {
+            let mut snaps = Vec::new();
+            for (i, a) in pl.agents.iter_mut().enumerate() {
+                if pl.live[i] {
+                    if let Some(s) = a.take_completed() {
+                        snaps.push(s);
+                    }
+                }
+            }
+            snaps.sort_by_key(|s| s.pid.index());
+            let dead = (0..pl.live.len())
+                .filter(|&i| !pl.live[i])
+                .map(ProcessId)
+                .collect();
+            let cut = GlobalCut {
+                epoch: pl.epoch,
+                step: now,
+                snaps,
+                dead,
+            };
+            pl.monitor.observe_cut(&cut);
+            if pl.setup.keep_cuts {
+                pl.cuts.push(cut.clone());
+            }
+            pl.last_cut = Some(cut);
+            pl.active = false;
+            pl.next_epoch_at = now + pl.setup.epoch_every;
+            for q in &mut pl.markers {
+                q.clear();
+            }
+            pl.marker_count = 0;
+        }
+
+        self.plane = Some(pl);
+    }
+
+    /// Open epoch `pl.epoch + 1`: every live agent is told the member
+    /// set and given a staggered record point (the stagger is what
+    /// exercises the red-stamp / implicit-marker paths).
+    fn arm_epoch(&self, pl: &mut MonitorPlane, now: u64) {
+        if !pl.live.iter().any(|&l| l) {
+            return;
+        }
+        pl.epoch += 1;
+        pl.active = true;
+        pl.started_at = now;
+        for i in 0..pl.agents.len() {
+            if !pl.live[i] {
+                continue;
+            }
+            // Reuse the expected-peer buffers across rounds: arming is
+            // per-epoch work and must not churn the allocator on big
+            // rings.
+            pl.expected[i].clear();
+            let live = &pl.live;
+            pl.expected[i].extend(
+                self.topo
+                    .neighbors(ProcessId(i))
+                    .iter()
+                    .copied()
+                    .filter(|q| live[q.index()]),
+            );
+            pl.agents[i].expect(pl.epoch, &pl.expected[i]);
+            pl.init_at[i] = now + (i as u64 * 5 + pl.epoch) % STAGGER;
+            pl.marker_sent_at[i] = u64::MAX;
+        }
+    }
+
+    /// Launch one marker copy from `from` to `to` through the shadow
+    /// adversary (which may drop, duplicate, delay or reorder it).
+    fn send_marker(&self, pl: &mut MonitorPlane, from: ProcessId, to: ProcessId, now: u64) {
+        pl.scratch.clear();
+        let mut deliveries = std::mem::take(&mut pl.scratch);
+        pl.marker_adv
+            .apply(now, from, to, LinkMsg::probe(from), false, &mut deliveries);
+        let e = self
+            .topo
+            .edge_between(from, to)
+            .expect("marker peers are neighbors");
+        let (lo, _) = self.topo.endpoints(e);
+        let qi = e.index() * 2 + usize::from(from != lo);
+        for d in &deliveries {
+            if pl.markers[qi].len() >= QUEUE_CAP {
+                continue; // shed; retransmission recovers
+            }
+            pl.marker_count += 1;
+            let mf = MarkerFlight {
+                epoch: pl.epoch,
+                ready_at: now + 1 + d.delay,
+            };
+            let q = &mut pl.markers[qi];
+            match d.reorder_key {
+                Some(key) => {
+                    let at = (key % (q.len() as u64 + 1)) as usize;
+                    q.insert(at, mf);
+                }
+                None => q.push_back(mf),
+            }
+        }
+        pl.scratch = deliveries;
     }
 
     /// Execute `steps` events.
@@ -534,6 +910,20 @@ impl SimNet {
                         {
                             tr.on_recv(step, to, from, stamp);
                         }
+                        // Snapshot bookkeeping runs *before* the node
+                        // processes the message: a red stamp must force
+                        // the recording first (see `crate::snapshot`).
+                        if let (Some(pl), Some(snap)) = (self.plane.as_deref_mut(), &queued.snap) {
+                            let expected = std::mem::take(&mut pl.expected[to.index()]);
+                            pl.agents[to.index()].on_deliver(
+                                from,
+                                &queued.msg,
+                                snap,
+                                &expected,
+                                &self.nodes[to.index()],
+                            );
+                            pl.expected[to.index()] = expected;
+                        }
                         let resyncs_before = self
                             .tracer
                             .is_some()
@@ -627,10 +1017,23 @@ impl SimNet {
                 .tracer
                 .as_deref_mut()
                 .map(|tr| tr.on_send(self.step, from, to));
+            // Snapshot stamps only flow while an epoch is open. Between
+            // rounds nothing records, so a stamp could neither trigger a
+            // recording nor witness an inconsistency — and skipping the
+            // per-copy clock clone is what keeps idle monitoring within
+            // T16's overhead budget. Messages that straddle the arming
+            // boundary arrive unstamped, i.e. white, which is always
+            // safe (only *post-record* sends must be visibly red, and a
+            // recorded sender necessarily knows the epoch).
+            let snap = match self.plane.as_deref_mut() {
+                Some(pl) if pl.active => Some(pl.agents[from.index()].on_send()),
+                _ => None,
+            };
             let queued = Queued {
                 msg: d.msg,
                 ready_at: self.step + d.delay,
                 stamp,
+                snap,
             };
             let q = &mut self.queues[qi];
             match d.reorder_key {
@@ -870,6 +1273,59 @@ mod tests {
                 .iter()
                 .any(|s| matches!(s.op, crate::vclock::NetOp::Retransmit)),
             "no retransmit spans despite loss"
+        );
+    }
+
+    #[test]
+    fn monitored_healthy_run_cuts_consistently_and_quietly() {
+        let mut net = SimNet::new(Topology::ring(5), FaultPlan::none(), 3);
+        net.enable_monitor(MonitorSetup {
+            epoch_every: 200,
+            keep_cuts: true,
+            ..MonitorSetup::default()
+        });
+        net.run(40_000);
+        let cuts = net.cuts();
+        assert!(cuts.len() > 50, "only {} epochs completed", cuts.len());
+        for c in cuts {
+            assert!(c.consistent(), "epoch {} inconsistent", c.epoch);
+            assert_eq!(c.snaps.len(), 5, "epoch {} missing snaps", c.epoch);
+        }
+        let mon = net.monitor().expect("monitor attached");
+        assert_eq!(mon.alerts(), &[], "healthy run must stay quiet");
+        assert_eq!(mon.cuts(), cuts.len() as u64);
+        // The staggered record points force the implicit-marker path;
+        // meanwhile the diner keeps working underneath.
+        for p in net.topology().processes() {
+            assert!(net.meals_of(p) > 0, "{p} never ate while monitored");
+        }
+        assert_eq!(net.violation_steps(), 0);
+    }
+
+    #[test]
+    fn injected_violation_is_caught_by_the_monitor() {
+        let mut net = SimNet::new(Topology::ring(6), FaultPlan::none(), 8);
+        net.enable_monitor(MonitorSetup {
+            epoch_every: 50,
+            ..MonitorSetup::default()
+        });
+        net.run(5_000);
+        assert!(net.monitor().unwrap().alerts().is_empty());
+        // Force a sustained neighbors-eating violation.
+        for _ in 0..2_000 {
+            net.inject_phase(ProcessId(0), Phase::Eating);
+            net.inject_phase(ProcessId(1), Phase::Eating);
+            net.step();
+            if !net.monitor().unwrap().alerts().is_empty() {
+                break;
+            }
+        }
+        let alerts = net.monitor().unwrap().alerts();
+        assert!(
+            alerts
+                .iter()
+                .any(|a| matches!(a.kind, diners_sim::AlertKind::NeighborsEating { .. })),
+            "violation never detected: {alerts:?}"
         );
     }
 

@@ -42,6 +42,14 @@ impl VectorClock {
         self.v[p.index()]
     }
 
+    /// All components, indexed by [`ProcessId::index`]. The slice view
+    /// lets bulk consumers (the cut-consistency check runs on every
+    /// completed snapshot epoch) stream components without per-entry
+    /// bounds checks.
+    pub fn entries(&self) -> &[u64] {
+        &self.v
+    }
+
     /// Advance node `p`'s own component (a local event at `p`).
     pub fn tick(&mut self, p: ProcessId) {
         self.v[p.index()] += 1;
@@ -66,6 +74,25 @@ impl VectorClock {
     /// causally concurrent.
     pub fn concurrent_with(&self, other: &VectorClock) -> bool {
         !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// Whether the per-process clocks form a **consistent cut**.
+    ///
+    /// `clocks[i]` is process `i`'s clock at its cut point. The cut is
+    /// consistent iff no participant has seen more of process `i`'s
+    /// history than `i` itself had at its own cut point — for all `i`,
+    /// `j`: `clocks[j][i] <= clocks[i][i]`. Equivalently: no message
+    /// crosses the cut from the future into the past. Missing
+    /// components (shorter clocks) count as zero, and an empty slice is
+    /// trivially consistent, so partially-populated cuts degrade
+    /// safely rather than panicking.
+    pub fn cut_consistent(clocks: &[VectorClock]) -> bool {
+        clocks.iter().enumerate().all(|(i, ci)| {
+            let own = ci.v.get(i).copied().unwrap_or(0);
+            clocks
+                .iter()
+                .all(|cj| cj.v.get(i).copied().unwrap_or(0) <= own)
+        })
     }
 }
 
@@ -329,6 +356,61 @@ mod tests {
         b.merge(&a);
         assert!(b.dominates(&a));
         assert!(!a.concurrent_with(&b) || !b.dominates(&a));
+    }
+
+    #[test]
+    fn cut_consistency_edge_cases() {
+        // Empty cut: trivially consistent.
+        assert!(VectorClock::cut_consistent(&[]));
+        // All-zero clocks: nothing seen anywhere, consistent.
+        let zeros = vec![VectorClock::new(3); 3];
+        assert!(VectorClock::cut_consistent(&zeros));
+        // Disjoint-pid histories: each process only ticked itself, so
+        // nobody knows anything about anyone else — always consistent.
+        let mut disjoint = vec![VectorClock::new(3); 3];
+        for (i, c) in disjoint.iter_mut().enumerate() {
+            for _ in 0..=i {
+                c.tick(p(i));
+            }
+        }
+        assert!(VectorClock::cut_consistent(&disjoint));
+        // Clocks shorter than the cut (missing components count as 0).
+        let short = vec![VectorClock::new(1), VectorClock::new(1)];
+        assert!(VectorClock::cut_consistent(&short));
+        // A single clock can never be inconsistent with itself.
+        let mut one = VectorClock::new(2);
+        one.tick(p(0));
+        assert!(VectorClock::cut_consistent(std::slice::from_ref(&one)));
+    }
+
+    #[test]
+    fn cut_consistency_detects_message_from_the_future() {
+        // p0 ticks (send), p1 merges the stamp (receive) — then we cut
+        // p0 *before* the send and p1 *after* the receive: p1 has seen
+        // an event p0's cut point has not. Inconsistent.
+        let before = VectorClock::new(2);
+        let mut sender = VectorClock::new(2);
+        sender.tick(p(0));
+        let mut receiver = VectorClock::new(2);
+        receiver.merge(&sender);
+        receiver.tick(p(1));
+        assert!(!VectorClock::cut_consistent(&[before, receiver.clone()]));
+        // Cutting p0 after the send repairs the cut.
+        assert!(VectorClock::cut_consistent(&[sender, receiver]));
+    }
+
+    #[test]
+    fn cut_consistency_matches_definition_on_pool() {
+        // Differential check against the quadratic definition over the
+        // structured pool, taking each pool clock as "process i's" cut
+        // point for cuts of every size.
+        let pool = clock_pool(4);
+        for w in pool.windows(4) {
+            let cut: Vec<VectorClock> = w.to_vec();
+            let brute = (0..cut.len())
+                .all(|i| (0..cut.len()).all(|j| cut[j].get(p(i)) <= cut[i].get(p(i))));
+            assert_eq!(VectorClock::cut_consistent(&cut), brute, "{cut:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Observer-effect-freedom: a monitored [`SimNet`] run is bit-identical
+//! to its unmonitored twin. The monitoring plane (snapshot agents,
+//! shadow marker queues, the marker adversary, the predicate monitor)
+//! must never touch the net's random stream, its data queues, or its
+//! nodes — so the act of watching cannot change what is watched.
+
+use diners_sim::fault::FaultPlan;
+use diners_sim::graph::Topology;
+
+use diners_mp::{AdversaryPlan, MonitorSetup, SimNet};
+
+fn hostile() -> AdversaryPlan {
+    AdversaryPlan::new()
+        .loss(150)
+        .duplication(150)
+        .delay(150, 4)
+        .reorder(150)
+}
+
+#[test]
+fn monitored_run_is_bit_identical_to_unmonitored_twin() {
+    let build = || {
+        SimNet::with_adversary(
+            Topology::ring(6),
+            FaultPlan::new()
+                .malicious_crash(4_000, 1, 6)
+                .crash(12_000, 4)
+                .restart_fresh(20_000, 4),
+            hostile(),
+            29,
+        )
+    };
+    let mut bare = build();
+    let mut watched = build();
+    watched.enable_monitor(MonitorSetup {
+        epoch_every: 50,
+        ..MonitorSetup::default()
+    });
+
+    // Lockstep: any divergence is caught at the step it first appears.
+    for step in 0..30_000u64 {
+        bare.step();
+        watched.step();
+        if step % 500 != 0 {
+            continue;
+        }
+        for p in bare.topology().processes() {
+            assert_eq!(
+                bare.phase_of(p),
+                watched.phase_of(p),
+                "step {step}: {p} phase diverged under monitoring"
+            );
+            assert_eq!(
+                bare.meals_of(p),
+                watched.meals_of(p),
+                "step {step}: {p} meals diverged under monitoring"
+            );
+        }
+    }
+    assert_eq!(bare.net_stats(), watched.net_stats(), "net stats diverged");
+    assert_eq!(bare.violation_steps(), watched.violation_steps());
+    assert_eq!(bare.retransmits(), watched.retransmits());
+    assert_eq!(bare.resyncs(), watched.resyncs());
+    assert_eq!(bare.shed(), watched.shed());
+
+    // And the watcher actually watched: epochs completed through the
+    // faults, with no false verdicts on this legitimate (if brutal) run.
+    let mon = watched.monitor().expect("monitor attached");
+    assert!(mon.cuts() > 100, "only {} cuts in 30k steps", mon.cuts());
+    assert_eq!(
+        mon.hard_alerts(),
+        0,
+        "false hard alert on a legitimate run: {:?}",
+        mon.alerts()
+    );
+}
+
+#[test]
+fn healthy_monitored_run_stays_quiet_and_productive() {
+    let mut net = SimNet::new(Topology::ring(8), FaultPlan::none(), 31);
+    net.enable_monitor(MonitorSetup {
+        epoch_every: 200,
+        ..MonitorSetup::default()
+    });
+    net.run(40_000);
+    let mon = net.monitor().expect("monitor attached");
+    assert!(mon.cuts() > 50, "only {} cuts", mon.cuts());
+    assert_eq!(mon.aborts(), 0, "no faults, so no aborted epochs");
+    assert_eq!(mon.alerts(), &[], "healthy run raised alerts");
+    // Liveness telemetry flows: hungry→eat transitions feed the wait
+    // histograms, which aggregate across the cluster.
+    assert!(
+        mon.cluster_waits().count() > 0,
+        "no hunger→eat latencies observed in 40k steps"
+    );
+    for p in net.topology().processes() {
+        assert!(net.meals_of(p) > 0, "{p} starved while monitored");
+    }
+}

@@ -1,0 +1,150 @@
+//! A dependency-free `/metrics` exposition endpoint.
+//!
+//! [`MetricsServer`] binds a plain `std::net::TcpListener` and serves
+//! the most recently published Prometheus text rendering (see
+//! [`crate::telemetry::MetricsRegistry::to_prometheus`]) to any HTTP
+//! GET. The server never touches the registry itself: callers render
+//! and [`MetricsServer::publish`] at whatever cadence suits them, so a
+//! simulation's hot loop decides exactly when the (cheap) snapshot
+//! happens and the serving thread only ever copies a string.
+//!
+//! The accept loop runs on one background thread in non-blocking mode
+//! with a short poll sleep — crude, but dependency-free and more than
+//! adequate for a scrape endpoint. Bind failures (sandboxes without
+//! network access) surface as `io::Error` so callers can degrade to
+//! file output.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::telemetry::MetricsRegistry;
+
+/// A minimal HTTP server exposing one text document at every path.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    body: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving an empty document.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let body = Arc::new(Mutex::new(String::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (b, s) = (Arc::clone(&body), Arc::clone(&stop));
+        let handle = thread::spawn(move || serve(listener, b, s));
+        Ok(MetricsServer {
+            addr,
+            body,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Publish the registry's current Prometheus rendering.
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        self.publish_text(registry.to_prometheus());
+    }
+
+    /// Publish an arbitrary text document.
+    pub fn publish_text(&self, text: String) {
+        *self.body.lock().unwrap() = text;
+    }
+
+    /// Stop the accept loop and join the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve(listener: TcpListener, body: Arc<Mutex<String>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut conn, _)) => {
+                // Best-effort: drain whatever request bytes are ready,
+                // then answer. A scrape endpoint needs no routing.
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut buf = [0u8; 1024];
+                let _ = conn.read(&mut buf);
+                let text = body.lock().unwrap().clone();
+                let response = format!(
+                    "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4\r\n\
+                     content-length: {}\r\nconnection: close\r\n\r\n{}",
+                    text.len(),
+                    text
+                );
+                let _ = conn.write_all(response.as_bytes());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn serves_published_metrics_over_http() {
+        // Sandboxes may forbid binding sockets; that is a skip, not a
+        // failure — the renderer itself is covered in telemetry tests.
+        let Ok(server) = MetricsServer::bind("127.0.0.1:0") else {
+            eprintln!("skipping: cannot bind a loopback socket here");
+            return;
+        };
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("monitor.cuts");
+        reg.add(c, 7);
+        server.publish(&reg);
+
+        let mut conn = TcpStream::connect(server.addr()).expect("connect to own server");
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("monitor_cuts 7"), "{response}");
+
+        // Re-publish: the next scrape sees the new value.
+        reg.add(c, 1);
+        server.publish(&reg);
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.contains("monitor_cuts 8"), "{response}");
+        server.shutdown();
+    }
+}

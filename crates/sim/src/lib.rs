@@ -52,6 +52,7 @@ pub mod algorithm;
 pub mod codec;
 pub mod engine;
 pub mod explore;
+pub mod expose;
 pub mod fault;
 pub mod fingerprint;
 pub mod graph;
@@ -77,6 +78,7 @@ pub use algorithm::{
 pub use codec::{Codec, StateCodec};
 pub use engine::{Engine, EnumerationMode, RunSummary, StepOutcome};
 pub use explore::{ExploreConfig, Reduction};
+pub use expose::MetricsServer;
 pub use fault::{FaultKind, FaultPlan, Health, Resurrection};
 pub use graph::{EdgeId, Family, ProcessId, Topology};
 pub use liveness::{check_liveness, check_liveness_multi, Lasso, LivenessConfig, LivenessReport};
@@ -88,8 +90,8 @@ pub use record::{
 pub use scheduler::Scheduler;
 pub use symmetry::{Perm, SymmetryGroup};
 pub use telemetry::{
-    Deviation, EventSink, JsonlSink, MetricsRegistry, NetOp, RingSink, Telemetry, TelemetryEvent,
-    TelemetryKind,
+    AlertKind, Deviation, EventSink, Histogram, JsonlSink, MetricsRegistry, NetOp, RingSink,
+    Telemetry, TelemetryEvent, TelemetryKind,
 };
 pub use tracing::{BlameChain, CausalTracer, Span, SpanId, SpanKind};
 pub use workload::Workload;

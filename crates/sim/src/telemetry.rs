@@ -82,6 +82,48 @@ impl NetOp {
     }
 }
 
+/// A verdict raised by the online monitor (`diners_mp::monitor`) about
+/// one assembled global cut. Defined here — like [`NetOp`] — so alerts
+/// ride the same event bus and sinks as engine and network events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Two neighboring live processes were both eating in one
+    /// consistent cut: the paper's safety property failed.
+    NeighborsEating {
+        /// One endpoint of the violated edge.
+        a: ProcessId,
+        /// The other endpoint.
+        b: ProcessId,
+    },
+    /// An assembled cut failed the vector-clock consistency check — the
+    /// snapshot protocol itself misbehaved.
+    InconsistentCut,
+    /// The process has been continuously hungry for `waited` net steps,
+    /// beyond the configured service-level threshold.
+    SloBreach {
+        /// Continuous hunger observed so far, in net steps.
+        waited: u64,
+    },
+    /// An SLO breach fired at a node `distance` > the locality radius
+    /// from every dead node — the failure-locality guarantee failed.
+    LocalityBreach {
+        /// Conflict-graph distance to the nearest dead node.
+        distance: u32,
+    },
+}
+
+impl AlertKind {
+    /// Stable lowercase label used in JSONL output and summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::NeighborsEating { .. } => "neighbors-eating",
+            AlertKind::InconsistentCut => "inconsistent-cut",
+            AlertKind::SloBreach { .. } => "slo-breach",
+            AlertKind::LocalityBreach { .. } => "locality-breach",
+        }
+    }
+}
+
 /// What happened. Mirrors (and extends) `trace::EventKind` with the
 /// phase-transition and network kinds that the bounded trace does not
 /// record.
@@ -107,6 +149,8 @@ pub enum TelemetryKind {
     },
     /// A message-layer verdict (see [`NetOp`]).
     Net(NetOp),
+    /// An online-monitor verdict about a global cut (see [`AlertKind`]).
+    Alert(AlertKind),
 }
 
 impl TelemetryKind {
@@ -118,6 +162,7 @@ impl TelemetryKind {
             TelemetryKind::Fault(_) => "fault",
             TelemetryKind::PhaseChange { .. } => "phase",
             TelemetryKind::Net(op) => op.label(),
+            TelemetryKind::Alert(_) => "alert",
         }
     }
 }
@@ -155,6 +200,21 @@ impl TelemetryEvent {
             }
             TelemetryKind::Net(NetOp::Delay { steps }) => {
                 extra = format!(",\"delay\":{steps}");
+            }
+            TelemetryKind::Alert(kind) => {
+                extra = format!(",\"alert\":\"{}\"", kind.label());
+                match kind {
+                    AlertKind::NeighborsEating { a, b } => {
+                        extra.push_str(&format!(",\"a\":{},\"b\":{}", a.index(), b.index()));
+                    }
+                    AlertKind::SloBreach { waited } => {
+                        extra.push_str(&format!(",\"waited\":{waited}"));
+                    }
+                    AlertKind::LocalityBreach { distance } => {
+                        extra.push_str(&format!(",\"distance\":{distance}"));
+                    }
+                    AlertKind::InconsistentCut => {}
+                }
             }
             _ => {}
         }
@@ -500,6 +560,33 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// The inclusive upper bucket edges this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Fold `other` into `self`. Both histograms must share identical
+    /// bucket bounds; the result is exactly the histogram that would
+    /// have recorded both observation streams, so shard-per-node
+    /// histograms can be aggregated into a cluster-wide view without
+    /// losing count/sum/min/max fidelity.
+    ///
+    /// # Panics
+    /// If the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge requires identical bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// `(upper_edge, count)` for every non-empty bucket; the overflow
     /// bucket reports the observed max as its edge.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
@@ -636,18 +723,40 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(n, h)| (n.as_str(), h))
     }
 
+    /// Fold every metric of `other` into `self`, registering any name
+    /// `self` has not seen: counters add, gauges keep the maximum
+    /// (high-watermark semantics — the only merge that is meaningful
+    /// without knowing what the gauge measures), histograms merge
+    /// bucket-wise via [`Histogram::merge`].
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            let id = self.counter(name);
+            self.add(id, *v);
+        }
+        for (name, v) in &other.gauges {
+            let id = self.gauge(name);
+            self.set_max(id, *v);
+        }
+        for (name, h) in &other.histograms {
+            let id = self.histogram_with(name, || Histogram::with_bounds(h.bounds.clone()));
+            self.histograms[id.0].1.merge(h);
+        }
+    }
+
     /// Render the whole registry as one JSON object (hand-rolled, same
-    /// style as `BENCH_engine.json`).
+    /// style as `BENCH_engine.json`). Metric names are escaped as JSON
+    /// strings, so quotes, backslashes and control characters in
+    /// free-form names cannot corrupt the document.
     pub fn to_json(&self) -> String {
         let counters: Vec<String> = self
             .counters
             .iter()
-            .map(|(n, v)| format!("\"{n}\":{v}"))
+            .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
             .collect();
         let gauges: Vec<String> = self
             .gauges
             .iter()
-            .map(|(n, v)| format!("\"{n}\":{v:.3}"))
+            .map(|(n, v)| format!("\"{}\":{v:.3}", json_escape(n)))
             .collect();
         let hists: Vec<String> = self
             .histograms
@@ -663,7 +772,7 @@ impl MetricsRegistry {
                         "\"{}\":{{\"count\":{},\"mean\":{:.3},",
                         "\"min\":{},\"max\":{},\"buckets\":[{}]}}"
                     ),
-                    n,
+                    json_escape(n),
                     h.count(),
                     h.mean(),
                     h.min().unwrap_or(0),
@@ -681,48 +790,145 @@ impl MetricsRegistry {
     }
 
     /// Render the whole registry in the Prometheus text exposition
-    /// format: one `# TYPE` header per metric, dotted names mapped to
-    /// underscores, histograms as cumulative `_bucket{le="..."}` series
-    /// plus `_sum` and `_count`.
+    /// format: one `# TYPE` header per metric family, dotted names
+    /// mapped to underscores, histograms as cumulative
+    /// `_bucket{le="..."}` series plus `_sum` and `_count`.
+    ///
+    /// Registry names may carry a label block in the conventional
+    /// `base{key="value",...}` form; series sharing a base render under
+    /// one `# TYPE` header with their labels preserved (keys sanitized,
+    /// values escaped). Base names are sanitized to the exposition
+    /// grammar: invalid characters become `_` and a leading digit is
+    /// prefixed with `_`.
     pub fn to_prometheus(&self) -> String {
-        fn sanitize(name: &str) -> String {
-            name.chars()
-                .map(|c| {
-                    if c.is_ascii_alphanumeric() || c == ':' {
-                        c
-                    } else {
-                        '_'
-                    }
-                })
-                .collect()
-        }
         let mut out = String::new();
+        let mut typed: Vec<String> = Vec::new();
+        let header = |out: &mut String, typed: &mut Vec<String>, base: &str, ty: &str| {
+            if !typed.iter().any(|b| b == base) {
+                out.push_str(&format!("# TYPE {base} {ty}\n"));
+                typed.push(base.to_string());
+            }
+        };
         for (name, v) in &self.counters {
-            let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+            let (base, labels) = prom_series_name(name);
+            header(&mut out, &mut typed, &base, "counter");
+            out.push_str(&format!("{base}{labels} {v}\n"));
         }
         for (name, v) in &self.gauges {
-            let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+            let (base, labels) = prom_series_name(name);
+            header(&mut out, &mut typed, &base, "gauge");
+            out.push_str(&format!("{base}{labels} {v}\n"));
         }
         for (name, h) in &self.histograms {
-            let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let (base, labels) = prom_series_name(name);
+            header(&mut out, &mut typed, &base, "histogram");
+            let with_le = |le: &str| {
+                if labels.is_empty() {
+                    format!("{{le=\"{le}\"}}")
+                } else {
+                    format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+                }
+            };
             let mut cumulative = 0u64;
             for (i, &c) in h.counts.iter().enumerate() {
                 cumulative += c;
-                if i < h.bounds.len() {
-                    out.push_str(&format!(
-                        "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
-                        h.bounds[i]
-                    ));
+                let le = if i < h.bounds.len() {
+                    h.bounds[i].to_string()
                 } else {
-                    out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-                }
+                    "+Inf".to_string()
+                };
+                out.push_str(&format!("{base}_bucket{} {cumulative}\n", with_le(&le)));
             }
-            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+            out.push_str(&format!(
+                "{base}_sum{labels} {}\n{base}_count{labels} {}\n",
+                h.sum, h.count
+            ));
         }
         out
+    }
+}
+
+/// Escape a free-form string for embedding inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitize a metric (or label-key) base name to the Prometheus
+/// exposition grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`: every invalid
+/// character becomes `_`, a leading digit gets a `_` prefix, and the
+/// empty string becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Split a registry name into its sanitized exposition base and a
+/// rendered label block (`{k="v",...}`, or empty). Names without a
+/// well-formed trailing `{...}` block are treated as plain (fully
+/// sanitized) base names. Label values must not contain commas; quotes
+/// and backslashes in values are escaped per the exposition format.
+fn prom_series_name(name: &str) -> (String, String) {
+    if let Some((base, rest)) = name.split_once('{') {
+        if let Some(inner) = rest.strip_suffix('}') {
+            if !rest[..rest.len() - 1].contains(['{', '}']) {
+                return (sanitize_metric_name(base), render_label_block(inner));
+            }
+        }
+    }
+    (sanitize_metric_name(name), String::new())
+}
+
+fn render_label_block(inner: &str) -> String {
+    let mut pairs: Vec<String> = Vec::new();
+    for piece in inner.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let (key, value) = piece.split_once('=').unwrap_or((piece, ""));
+        let value = value.trim().trim_matches('"');
+        let mut escaped = String::with_capacity(value.len());
+        for c in value.chars() {
+            match c {
+                '\\' => escaped.push_str("\\\\"),
+                '"' => escaped.push_str("\\\""),
+                '\n' => escaped.push_str("\\n"),
+                c => escaped.push(c),
+            }
+        }
+        // Label keys share the metric-name grammar minus ':'.
+        let key = sanitize_metric_name(key.trim()).replace(':', "_");
+        pairs.push(format!("{key}=\"{escaped}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
     }
 }
 
@@ -1282,6 +1488,208 @@ mod tests {
         o.record(50);
         assert_eq!(o.quantile(0.5), Some(50));
         assert_eq!(o.quantile(1.0), Some(50));
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        // Deterministic structured sweep: merging shard histograms must
+        // be indistinguishable from one histogram that saw every value.
+        let streams: [&[u64]; 3] = [&[0, 1, 2, 5], &[20, 100, 3], &[]];
+        let mut whole = Histogram::with_bounds(vec![1, 4, 16]);
+        let mut folded = Histogram::with_bounds(vec![1, 4, 16]);
+        for s in streams {
+            let mut shard = Histogram::with_bounds(vec![1, 4, 16]);
+            for &v in s {
+                shard.record(v);
+                whole.record(v);
+            }
+            folded.merge(&shard);
+        }
+        assert_eq!(folded, whole);
+        // Merging an empty histogram is the identity.
+        let before = folded.clone();
+        folded.merge(&Histogram::with_bounds(vec![1, 4, 16]));
+        assert_eq!(folded, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(vec![1, 2]);
+        a.merge(&Histogram::with_bounds(vec![1, 3]));
+    }
+
+    #[test]
+    fn merged_quantiles_bound_per_shard_quantiles() {
+        // Property: for every quantile q, the merged histogram's
+        // bucket-resolution quantile lies within [min, max] of the
+        // per-shard quantiles (empty shards excluded). Structured sweep
+        // over shard shapes with very different spreads.
+        let shards: [Vec<u64>; 4] = [
+            (0..40).collect(),
+            (0..10).map(|i| i * 97).collect(),
+            vec![7; 25],
+            (0..60).map(|i| 1 << (i % 12)).collect(),
+        ];
+        let mut hists: Vec<Histogram> = Vec::new();
+        let mut merged = Histogram::pow2();
+        for s in &shards {
+            let mut h = Histogram::pow2();
+            for &v in s {
+                h.record(v);
+            }
+            merged.merge(&h);
+            hists.push(h);
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let per: Vec<u64> = hists.iter().filter_map(|h| h.quantile(q)).collect();
+            let lo = *per.iter().min().unwrap();
+            let hi = *per.iter().max().unwrap();
+            let m = merged.quantile(q).unwrap();
+            assert!(
+                (lo..=hi).contains(&m),
+                "q={q}: merged {m} outside shard envelope [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_merge_from_aggregates_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        let c = a.counter("cuts");
+        a.add(c, 3);
+        let g = a.gauge("epoch");
+        a.set(g, 5.0);
+        let h = a.histogram("wait");
+        a.record(h, 4);
+
+        let mut b = MetricsRegistry::new();
+        let c = b.counter("cuts");
+        b.add(c, 2);
+        let c2 = b.counter("aborts");
+        b.inc(c2);
+        let g = b.gauge("epoch");
+        b.set(g, 7.0);
+        let h = b.histogram("wait");
+        b.record(h, 9);
+
+        a.merge_from(&b);
+        assert_eq!(a.counter_value("cuts"), Some(5), "counters add");
+        assert_eq!(a.counter_value("aborts"), Some(1), "missing names register");
+        assert_eq!(a.gauge_value("epoch"), Some(7.0), "gauges high-watermark");
+        let w = a.histogram_value("wait").unwrap();
+        assert_eq!((w.count(), w.min(), w.max()), (2, Some(4), Some(9)));
+    }
+
+    #[test]
+    fn hostile_metric_names_are_escaped_and_sanitized() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("9 bad \"name\"\\");
+        reg.inc(c);
+        let g = reg.gauge("wei rd{node=\"a\\b\"}");
+        reg.set(g, 1.0);
+        let h = reg.histogram_with("2tail{q=\"p\"99\"}", || Histogram::with_bounds(vec![1]));
+        reg.record(h, 1);
+
+        // JSON: quotes and backslashes in names cannot break the
+        // document — still balanced, and every raw quote is escaped.
+        let json = reg.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("9 bad \\\"name\\\"\\\\"), "{json}");
+        let mut prev = ' ';
+        let mut in_str = false;
+        let mut depth = 0i32;
+        for ch in json.chars() {
+            match ch {
+                '"' if prev != '\\' => in_str = !in_str,
+                '{' if !in_str => depth += 1,
+                '}' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "{json}");
+            prev = if prev == '\\' && ch == '\\' { ' ' } else { ch };
+        }
+        assert!(!in_str && depth == 0, "unbalanced JSON: {json}");
+
+        // Exposition: every series line's metric id matches the grammar
+        // [a-zA-Z_:][a-zA-Z0-9_:]* and leading digits got a prefix.
+        let text = reg.to_prometheus();
+        assert!(text.contains("_9_bad__name__ 1\n"), "{text}");
+        assert!(text.contains("wei_rd{node=\"a\\\\b\"} 1\n"), "{text}");
+        assert!(text.contains("# TYPE _2tail histogram\n"), "{text}");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let id: String = line.chars().take_while(|&c| c != '{' && c != ' ').collect();
+            assert!(
+                id.chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':'),
+                "bad leading char in {line:?}"
+            );
+            assert!(
+                id.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad char in series id of {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_header() {
+        let mut reg = MetricsRegistry::new();
+        for node in 0..3 {
+            let h = reg.histogram_with(&format!("mp.wait{{node=\"{node}\"}}"), || {
+                Histogram::with_bounds(vec![8])
+            });
+            reg.record(h, node);
+        }
+        let text = reg.to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE mp_wait histogram").count(),
+            1,
+            "{text}"
+        );
+        for node in 0..3 {
+            assert!(
+                text.contains(&format!("mp_wait_bucket{{node=\"{node}\",le=\"8\"}} 1\n")),
+                "{text}"
+            );
+            assert!(
+                text.contains(&format!("mp_wait_sum{{node=\"{node}\"}} {node}\n")),
+                "{text}"
+            );
+            assert!(
+                text.contains(&format!("mp_wait_count{{node=\"{node}\"}} 1\n")),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn alert_events_render_kind_specific_json() {
+        let cases = [
+            (
+                AlertKind::NeighborsEating {
+                    a: ProcessId(1),
+                    b: ProcessId(2),
+                },
+                "\"alert\":\"neighbors-eating\",\"a\":1,\"b\":2",
+            ),
+            (AlertKind::InconsistentCut, "\"alert\":\"inconsistent-cut\""),
+            (
+                AlertKind::SloBreach { waited: 900 },
+                "\"alert\":\"slo-breach\",\"waited\":900",
+            ),
+            (
+                AlertKind::LocalityBreach { distance: 3 },
+                "\"alert\":\"locality-breach\",\"distance\":3",
+            ),
+        ];
+        for (i, (kind, want)) in cases.into_iter().enumerate() {
+            let e = ev(i as u64 + 1, 5, 0, TelemetryKind::Alert(kind));
+            let json = e.to_json();
+            assert!(json.contains("\"kind\":\"alert\""), "{json}");
+            assert!(json.contains(want), "{json} lacks {want}");
+        }
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Contract certification of the baseline algorithms: greedy and
+//! hygienic must certify locality + purity, and their declared
+//! `respects_symmetry = true` must survive the commutation check.
+
+use diners_baselines::{GreedyDiners, HygienicDiners};
+use diners_sim::footprint::{analyze, AnalysisConfig};
+use diners_sim::graph::Topology;
+
+#[test]
+fn greedy_certifies_on_ring_and_line() {
+    for topo in [Topology::ring(5), Topology::line(4)] {
+        let r = analyze(&GreedyDiners, &topo, &AnalysisConfig::quick());
+        assert!(
+            r.locality.ok(),
+            "{}: {:?}",
+            topo.name(),
+            r.locality.witnesses
+        );
+        assert!(r.purity.ok(), "{}: {:?}", topo.name(), r.purity.witnesses);
+        assert!(
+            r.equivariance.matches_declaration(),
+            "{}: {:?}",
+            topo.name(),
+            r.equivariance.witness
+        );
+        assert!(r.certified());
+    }
+}
+
+#[test]
+fn greedy_equivariance_is_positively_decided() {
+    let r = analyze(&GreedyDiners, &Topology::ring(5), &AnalysisConfig::quick());
+    assert!(r.equivariance.decidable);
+    assert!(r.equivariance.declared && r.equivariance.inferred);
+    assert!(r.equivariance.checked > 0);
+}
+
+#[test]
+fn hygienic_certifies_on_ring_and_line() {
+    for topo in [Topology::ring(4), Topology::line(4)] {
+        let r = analyze(&HygienicDiners, &topo, &AnalysisConfig::quick());
+        assert!(
+            r.locality.ok(),
+            "{}: {:?}",
+            topo.name(),
+            r.locality.witnesses
+        );
+        assert!(r.purity.ok(), "{}: {:?}", topo.name(), r.purity.witnesses);
+        assert!(
+            r.equivariance.matches_declaration(),
+            "{}: {:?}",
+            topo.name(),
+            r.equivariance.witness
+        );
+        assert!(r.certified());
+    }
+}
+
+#[test]
+fn hygienic_fork_writes_are_incident_edges_only() {
+    let r = analyze(
+        &HygienicDiners,
+        &Topology::ring(4),
+        &AnalysisConfig::quick(),
+    );
+    // Hygienic passes forks over shared edges; the inferred footprint
+    // must bound every edge write to radius 1.
+    let writes_edges = r
+        .footprints
+        .iter()
+        .any(|f| f.command.writes_edge && f.command.write_radius == 1);
+    assert!(writes_edges, "fork passing should appear in the footprints");
+    assert!(r
+        .footprints
+        .iter()
+        .all(|f| f.command.write_radius <= 1 && f.guard.read_radius <= 1));
+}

@@ -105,6 +105,18 @@ fn main() {
         );
     }
 
+    let contracts = diners_bench::experiments::analyze::run(quick);
+    println!("{}", contracts.contracts);
+    println!("{}", contracts.footprints);
+    println!("{}", contracts.refutations);
+    std::fs::write("BENCH_analysis.json", &contracts.json).expect("write analysis JSON");
+    println!("wrote BENCH_analysis.json");
+    assert!(
+        contracts.failures.is_empty(),
+        "contract certification failed:\n{}",
+        contracts.failures.join("\n")
+    );
+
     let mon = diners_bench::experiments::monitor::run(quick);
     println!("{}", mon.detection);
     println!("{}", mon.fp);

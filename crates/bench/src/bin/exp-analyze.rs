@@ -1,0 +1,41 @@
+//! T17 — contract certification: footprint inference, locality / purity
+//! / equivariance verdicts and independence matrices for every shipped
+//! algorithm, plus refutation of the negative-control fixtures.
+//!
+//! Flags:
+//!   --quick       reduced corpus and topologies (CI smoke)
+//!   --out PATH    where to write the JSON (default BENCH_analysis.json)
+//!   --check       exit nonzero if any contract is violated, any
+//!                 declared `respects_symmetry` is refuted, or any
+//!                 testbad fixture escapes refutation (the CI gate)
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_analysis.json".to_string());
+
+    let report = diners_bench::experiments::analyze::run(quick);
+    println!("{}", report.contracts);
+    println!("{}", report.footprints);
+    println!("{}", report.refutations);
+    std::fs::write(&out, &report.json).expect("write benchmark JSON");
+    println!("wrote {out}");
+
+    if !report.failures.is_empty() {
+        eprintln!("contract gate failures:");
+        for f in &report.failures {
+            eprintln!("  - {f}");
+        }
+        if check {
+            std::process::exit(1);
+        }
+    } else if check {
+        println!("contract gate: all certified");
+    }
+}

@@ -3,6 +3,7 @@
 //! thin wrappers, and the integration suite re-runs everything at
 //! [`crate::common::Scale::quick`].
 
+pub mod analyze;
 pub mod chaos;
 pub mod codec;
 pub mod cycles;

@@ -22,6 +22,7 @@
 //! | T14  | explorer compaction (codec & symmetry)  | [`experiments::codec`] |
 //! | T15  | liveness checking, shrinking, fuzz      | [`experiments::fuzz`] |
 //! | T16  | online monitoring & global snapshots    | [`experiments::monitor`] |
+//! | T17  | contract certification (footprints)     | [`experiments::analyze`] |
 //!
 //! Run them all with `cargo run -p diners-bench --release --bin exp-all`,
 //! or individually via the `exp-*` binaries.

@@ -411,6 +411,19 @@ impl Algorithm for MaliciousCrashDiners {
         }
         writes
     }
+
+    fn malicious_edge_allowed(
+        &self,
+        _topo: &Topology,
+        _p: ProcessId,
+        neighbor: ProcessId,
+        value: &PriorityVar,
+    ) -> bool {
+        // The model's restricted-update rule: a maliciously crashing
+        // process may only *yield* priority on an incident edge (make the
+        // neighbor the ancestor), never seize it.
+        value.ancestor == neighbor
+    }
 }
 
 impl DinerAlgorithm for MaliciousCrashDiners {

@@ -104,10 +104,12 @@ pub struct Move {
 /// One variable assignment produced by executing an action.
 ///
 /// Commands in the model assign to the process's own local variables and to
-/// shared edge variables. Whether a particular edge write is within the
-/// process's *capability* (e.g. the diners algorithm only lets a process
-/// yield an edge to its neighbor) is the algorithm's contract; the engine
-/// only checks adjacency.
+/// shared edge variables. The engine enforces the write contract on every
+/// application via [`crate::footprint::check_write`]: edge writes must
+/// target an incident edge, and malicious-step edge writes must pass the
+/// algorithm's declared capability ([`Algorithm::malicious_edge_allowed`]).
+/// Violations panic under `debug_assertions` and are rejected and counted
+/// (`engine.write_violations`) in release builds.
 pub enum Write<A: Algorithm + ?Sized> {
     /// Replace the executing process's local state.
     Local(A::Local),
@@ -181,6 +183,28 @@ pub trait Algorithm {
             view.topology(),
             view.pid(),
         ))]
+    }
+
+    /// The restricted-update capability (paper §2): whether a *malicious*
+    /// step of `p` is permitted to write `value` to the shared variable on
+    /// the edge towards `neighbor`. Regular commands are not restricted
+    /// beyond adjacency; malicious steps may only perform edge updates the
+    /// model grants them (e.g. the diners algorithm lets a crashing
+    /// process yield priority, never seize it).
+    ///
+    /// The default capability is empty: malicious steps may corrupt the
+    /// process's own local state only (matching the default
+    /// [`Self::malicious_writes`]). Both the engine's runtime contract
+    /// check and the `footprint` locality certifier enforce this.
+    fn malicious_edge_allowed(
+        &self,
+        topo: &Topology,
+        p: ProcessId,
+        neighbor: ProcessId,
+        value: &Self::Edge,
+    ) -> bool {
+        let _ = (topo, p, neighbor, value);
+        false
     }
 }
 
@@ -305,11 +329,17 @@ impl<A: Algorithm> SystemState<A> {
 /// A process's read-only window onto the system: its own state, its
 /// neighbors' locals and the shared variables on its incident edges —
 /// exactly the variables a guard may mention in the model.
+///
+/// A view built with [`View::traced`] additionally records every
+/// state-reading accessor call in an [`crate::footprint::AccessLog`];
+/// this is how the `footprint` contract analysis infers read sets.
+/// Tracing changes what accessors *record*, never what they return.
 pub struct View<'a, A: Algorithm + ?Sized> {
     pid: ProcessId,
     topo: &'a Topology,
     state: &'a SystemState<A>,
     needs: bool,
+    log: Option<&'a crate::footprint::AccessLog>,
 }
 
 impl<'a, A: Algorithm> View<'a, A> {
@@ -321,6 +351,28 @@ impl<'a, A: Algorithm> View<'a, A> {
             topo,
             state,
             needs,
+            log: None,
+        }
+    }
+
+    /// Construct an instrumented view that records every state read in
+    /// `log`. Used by the `footprint` contract analysis: traced views are
+    /// deliberately *permissive* — [`View::neighbor_local`] does not
+    /// assert adjacency, so an ill-behaved guard produces a recorded,
+    /// nameable out-of-neighborhood read instead of a panic.
+    pub fn traced(
+        topo: &'a Topology,
+        state: &'a SystemState<A>,
+        pid: ProcessId,
+        needs: bool,
+        log: &'a crate::footprint::AccessLog,
+    ) -> Self {
+        View {
+            pid,
+            topo,
+            state,
+            needs,
+            log: Some(log),
         }
     }
 
@@ -339,6 +391,9 @@ impl<'a, A: Algorithm> View<'a, A> {
     /// The paper's `needs():p` — whether the process currently wants to eat.
     #[inline]
     pub fn needs(&self) -> bool {
+        if let Some(log) = self.log {
+            log.record(crate::footprint::ReadAccess::Needs);
+        }
         self.needs
     }
 
@@ -351,6 +406,9 @@ impl<'a, A: Algorithm> View<'a, A> {
     /// This process's local state.
     #[inline]
     pub fn local(&self) -> &'a A::Local {
+        if let Some(log) = self.log {
+            log.record(crate::footprint::ReadAccess::OwnLocal);
+        }
         self.state.local(self.pid)
     }
 
@@ -364,14 +422,20 @@ impl<'a, A: Algorithm> View<'a, A> {
     ///
     /// # Panics
     ///
-    /// Panics if `q` is not a neighbor of this process.
+    /// Panics (`debug_assertions`) if `q` is not a neighbor of this
+    /// process — except on traced views, which record the out-of-bounds
+    /// read for the locality certifier to report instead.
     #[inline]
     pub fn neighbor_local(&self, q: ProcessId) -> &'a A::Local {
-        debug_assert!(
-            self.topo.are_neighbors(self.pid, q),
-            "{q} is not a neighbor of {}",
-            self.pid
-        );
+        if let Some(log) = self.log {
+            log.record(crate::footprint::ReadAccess::Local(q));
+        } else {
+            debug_assert!(
+                self.topo.are_neighbors(self.pid, q),
+                "{q} is not a neighbor of {}",
+                self.pid
+            );
+        }
         self.state.local(q)
     }
 
@@ -382,6 +446,9 @@ impl<'a, A: Algorithm> View<'a, A> {
     /// Panics if `q` is not a neighbor of this process.
     #[inline]
     pub fn edge_to(&self, q: ProcessId) -> &'a A::Edge {
+        if let Some(log) = self.log {
+            log.record(crate::footprint::ReadAccess::Edge(q));
+        }
         let e = self
             .topo
             .edge_between(self.pid, q)
@@ -462,6 +529,80 @@ mod tests {
         assert_eq!(v.neighbors(), &[ProcessId(0), ProcessId(2)]);
         assert_eq!(v.neighbor_at(0), ProcessId(0));
         assert_eq!(v.diameter(), 2);
+    }
+
+    /// Satellite coverage for the footprint instrumentation: `View` must
+    /// expose *exactly* the closed neighborhood, so the traced accessors
+    /// cannot silently miss an access path. Brute-force cross-check on
+    /// degree-0 (singleton line), leaf/middle (line), hub/leaf (star) and
+    /// interior/corner (grid) cases.
+    #[test]
+    fn view_exposes_exactly_the_closed_neighborhood() {
+        for t in [
+            Topology::line(1),
+            Topology::line(4),
+            Topology::star(5),
+            Topology::grid(3, 3),
+        ] {
+            let mut s = SystemState::initial(&Count, &t);
+            for p in t.processes() {
+                *s.local_mut(p) = p.index() as u32;
+            }
+            for p in t.processes() {
+                let v: View<'_, Count> = View::new(&t, &s, p, true);
+                // Own state is always visible.
+                assert_eq!(*v.local(), p.index() as u32);
+                assert_eq!(v.pid(), p);
+                // The neighbor list is exactly {q : q ~ p}, sorted.
+                let expect: Vec<ProcessId> =
+                    t.processes().filter(|&q| t.are_neighbors(p, q)).collect();
+                assert_eq!(v.neighbors(), expect.as_slice(), "{} at {p}", t.name());
+                assert_eq!(v.neighbors().len(), t.degree(p));
+                // Every exposed neighbor is reachable through every
+                // accessor path: by id, by slot, and its shared edge.
+                for (slot, &q) in expect.iter().enumerate() {
+                    assert_eq!(v.neighbor_at(slot), q);
+                    assert_eq!(*v.neighbor_local(q), q.index() as u32);
+                    let _: &() = v.edge_to(q);
+                }
+            }
+        }
+    }
+
+    /// Degree-0 process: the closed neighborhood is the process itself.
+    #[test]
+    fn degree_zero_view_has_no_neighbors() {
+        let t = Topology::line(1);
+        let s = SystemState::initial(&Count, &t);
+        let v: View<'_, Count> = View::new(&t, &s, ProcessId(0), false);
+        assert!(v.neighbors().is_empty());
+        assert!(!v.needs());
+        assert_eq!(*v.local(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "is not a neighbor")]
+    fn untraced_view_rejects_non_neighbor_local() {
+        let t = Topology::line(3);
+        let s = SystemState::initial(&Count, &t);
+        let v: View<'_, Count> = View::new(&t, &s, ProcessId(0), true);
+        let _ = v.neighbor_local(ProcessId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a neighbor")]
+    fn view_rejects_non_neighbor_edge() {
+        let t = Topology::line(3);
+        let s = SystemState::initial(&Count, &t);
+        let v: View<'_, Count> = View::new(&t, &s, ProcessId(0), true);
+        let _ = v.edge_to(ProcessId(2));
+    }
+
+    #[test]
+    fn default_malicious_capability_is_empty() {
+        let t = Topology::line(2);
+        assert!(!Count.malicious_edge_allowed(&t, ProcessId(0), ProcessId(1), &()));
     }
 
     #[test]

@@ -81,6 +81,9 @@ struct TelemetryState {
     faults: CounterId,
     restarts: CounterId,
     phase_changes: CounterId,
+    /// Writes rejected by the runtime contract check (non-neighbor edge
+    /// or malicious write outside the capability).
+    write_violations: CounterId,
     /// Steps spent hungry before each transition into `Eating`.
     hungry_to_eat: HistogramId,
 }
@@ -97,6 +100,7 @@ impl TelemetryState {
         let faults = reg.counter("engine.faults");
         let restarts = reg.counter("engine.restarts");
         let phase_changes = reg.counter("engine.phase_changes");
+        let write_violations = reg.counter("engine.write_violations");
         let hungry_to_eat = reg.histogram("engine.hungry_to_eat_steps");
         Box::new(TelemetryState {
             tele,
@@ -105,6 +109,7 @@ impl TelemetryState {
             faults,
             restarts,
             phase_changes,
+            write_violations,
             hungry_to_eat,
         })
     }
@@ -467,6 +472,7 @@ impl<A: DinerAlgorithm> EngineBuilder<A> {
             snap_schedule,
             snap_cursor: 0,
             snapshots,
+            write_violations: 0,
         };
         let (total, live) = engine.eating_pairs_scan();
         engine.eat_pairs_total = total;
@@ -538,6 +544,11 @@ pub struct Engine<A: DinerAlgorithm> {
     /// Captured local-state checkpoints, indexed like `faults.events()`
     /// (filled only for snapshot-restart events).
     snapshots: Vec<Option<A::Local>>,
+    /// Writes rejected by the runtime write-contract check
+    /// ([`crate::footprint::check_write`]): non-neighbor edge writes and
+    /// malicious writes outside the capability. Such writes panic under
+    /// `debug_assertions` and are dropped (and counted here) in release.
+    write_violations: u64,
 }
 
 impl<A: DinerAlgorithm> Engine<A> {
@@ -573,6 +584,15 @@ impl<A: DinerAlgorithm> Engine<A> {
     /// into a report while the engine is dropped).
     pub fn take_telemetry(&mut self) -> Option<Telemetry> {
         self.telemetry.take().map(|ts| ts.tele)
+    }
+
+    /// Writes rejected so far by the runtime write-contract check
+    /// (non-neighbor edge writes, malicious writes outside the
+    /// capability). Always 0 for a contract-certified algorithm; only
+    /// release builds can observe a nonzero value, since debug builds
+    /// panic on the first violation.
+    pub fn write_violations(&self) -> u64 {
+        self.write_violations
     }
 
     /// The attached causal tracer, if any.
@@ -1256,14 +1276,33 @@ impl<A: DinerAlgorithm> Engine<A> {
             (w, needs)
         };
 
+        // Runtime write-contract check (the dynamic counterpart of the
+        // `footprint` locality certifier): adjacency for every edge
+        // write, capability for malicious ones. Violations panic in
+        // debug builds; release builds reject the write and count it, so
+        // fuzzing surfaces contract breaches without crashing soaks.
+        let malicious = mv.action.is_malicious();
         for w in writes {
+            if let Some(v) =
+                crate::footprint::check_write(&self.alg, &self.topo, pid, malicious, &w)
+            {
+                if cfg!(debug_assertions) {
+                    panic!("write contract violation: {v}");
+                }
+                self.write_violations += 1;
+                if let Some(ts) = self.telemetry.as_deref_mut() {
+                    let id = ts.write_violations;
+                    ts.tele.registry_mut().inc(id);
+                }
+                continue;
+            }
             match w {
                 Write::Local(l) => *self.state.local_mut(pid) = l,
                 Write::Edge { neighbor, value } => {
                     let e = self
                         .topo
                         .edge_between(pid, neighbor)
-                        .unwrap_or_else(|| panic!("{} wrote edge to non-neighbor {neighbor}", pid));
+                        .expect("checked adjacent above");
                     *self.state.edge_mut(e) = value;
                 }
             }
@@ -1895,5 +1934,54 @@ mod tests {
         assert_eq!(a.state(), b.state());
         assert_eq!(a.health(), b.health());
         assert_eq!(a.metrics(), b.metrics());
+    }
+
+    // ---- runtime write-contract enforcement (satellite of the footprint
+    // certification work; the static counterpart lives in footprint.rs) --
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "write contract violation")]
+    fn engine_rejects_non_neighbor_edge_writes() {
+        use crate::footprint::testbad::FarWriter;
+        // far-grab writes the p0–? edge two hops out on a line; the
+        // write check must refuse it rather than corrupt the far edge.
+        let mut e = Engine::builder(FarWriter, Topology::line(3))
+            .scheduler(RandomScheduler::new(3))
+            .seed(3)
+            .build();
+        e.run(20);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "write contract violation")]
+    fn engine_rejects_malicious_writes_outside_capability() {
+        use crate::footprint::testbad::RogueMalicious;
+        // rogue-malicious writes a shared edge during its byzantine
+        // phase while declaring the default (empty) capability.
+        let mut e = Engine::builder(RogueMalicious, Topology::line(3))
+            .scheduler(RandomScheduler::new(3))
+            .faults(FaultPlan::new().malicious_crash(1, 1, 2))
+            .seed(3)
+            .build();
+        e.run(20);
+    }
+
+    #[test]
+    fn well_behaved_runs_count_no_write_violations() {
+        let mut e = Engine::builder(ToyDiners, Topology::ring(5))
+            .scheduler(RandomScheduler::new(7))
+            .faults(FaultPlan::new().malicious_crash(10, 2, 3))
+            .telemetry(Telemetry::new())
+            .seed(7)
+            .build();
+        e.run(500);
+        assert_eq!(e.write_violations(), 0);
+        assert_eq!(
+            e.telemetry()
+                .and_then(|t| t.registry().counter_value("engine.write_violations")),
+            Some(0)
+        );
     }
 }

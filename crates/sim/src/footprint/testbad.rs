@@ -1,0 +1,326 @@
+//! Deliberately ill-behaved algorithms that each violate exactly one
+//! contract, used as negative tests for the [`footprint`](super)
+//! certifiers and the engine's runtime write checks. Every certifier must
+//! *refute* its fixture with a usable witness; a certifier that passes
+//! one of these is broken.
+
+use std::cell::Cell;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::algorithm::{ActionId, ActionKind, Algorithm, DinerAlgorithm, Phase, View, Write};
+use crate::codec::{phase_from_bits, phase_to_bits, StateCodec};
+use crate::graph::{EdgeId, ProcessId, Topology};
+
+fn random_phase(rng: &mut StdRng) -> Phase {
+    match rng.gen_range(0..3u8) {
+        0 => Phase::Thinking,
+        1 => Phase::Hungry,
+        _ => Phase::Eating,
+    }
+}
+
+/// Implements the phase-only boilerplate shared by every fixture:
+/// `DinerAlgorithm` (the local *is* the phase) and a 2-bit/0-bit
+/// `StateCodec` with the given `respects_symmetry` declaration.
+macro_rules! phase_fixture {
+    ($ty:ty, $sym:expr) => {
+        impl DinerAlgorithm for $ty {
+            fn phase(&self, local: &Phase) -> Phase {
+                *local
+            }
+        }
+
+        impl StateCodec for $ty {
+            fn local_bits(&self, _topo: &Topology) -> u32 {
+                2
+            }
+            fn edge_bits(&self, _topo: &Topology) -> u32 {
+                0
+            }
+            fn encode_local(&self, _t: &Topology, _p: ProcessId, local: &Phase) -> u64 {
+                phase_to_bits(*local)
+            }
+            fn decode_local(&self, _t: &Topology, _p: ProcessId, bits: u64) -> Phase {
+                phase_from_bits(bits)
+            }
+            fn encode_edge(&self, _t: &Topology, _e: EdgeId, _value: &()) -> u64 {
+                0
+            }
+            fn decode_edge(&self, _t: &Topology, _e: EdgeId, _bits: u64) {}
+            fn respects_symmetry(&self) -> bool {
+                $sym
+            }
+        }
+    };
+}
+
+/// Violates **locality** (reads): its guard peeks two hops out — it
+/// scans the neighbors *of its neighbors* for eaters, reading locals
+/// outside the closed neighborhood. The locality certifier must refute
+/// it naming the distance-2 read; only traced (permissive) views make
+/// the violation observable instead of an adjacency panic.
+pub struct PeekingGuard;
+
+const PEEKING_KINDS: &[ActionKind] = &[ActionKind {
+    name: "peek-enter",
+    per_neighbor: false,
+}];
+
+impl Algorithm for PeekingGuard {
+    type Local = Phase;
+    type Edge = ();
+
+    fn name(&self) -> &str {
+        "peeking-guard"
+    }
+    fn kinds(&self) -> &[ActionKind] {
+        PEEKING_KINDS
+    }
+    fn init_local(&self, _t: &Topology, _p: ProcessId) -> Phase {
+        Phase::Thinking
+    }
+    fn init_edge(&self, _t: &Topology, _e: EdgeId) {}
+    fn enabled(&self, view: &View<'_, Self>, a: ActionId) -> bool {
+        a.kind == 0
+            && *view.local() == Phase::Hungry
+            && view.neighbors().iter().all(|&q| {
+                *view.neighbor_local(q) != Phase::Eating
+                    && view
+                        .topology()
+                        .neighbors(q)
+                        .iter()
+                        .all(|&r| r == view.pid() || *view.neighbor_local(r) != Phase::Eating)
+            })
+    }
+    fn execute(&self, _view: &View<'_, Self>, _a: ActionId) -> Vec<Write<Self>> {
+        vec![Write::Local(Phase::Eating)]
+    }
+    fn corrupt_local(&self, rng: &mut StdRng, _t: &Topology, _p: ProcessId) -> Phase {
+        random_phase(rng)
+    }
+    fn corrupt_edge(&self, _r: &mut StdRng, _t: &Topology, _e: EdgeId) {}
+}
+
+phase_fixture!(PeekingGuard, false);
+
+/// Violates **locality** (writes): its command writes the shared
+/// variable of an edge it is not incident to (the first process at
+/// distance ≥ 2). The locality certifier must refute it, and the
+/// engine's runtime write check must reject the write (debug panic /
+/// release reject + `engine.write_violations`).
+pub struct FarWriter;
+
+const FAR_KINDS: &[ActionKind] = &[ActionKind {
+    name: "far-grab",
+    per_neighbor: false,
+}];
+
+impl Algorithm for FarWriter {
+    type Local = Phase;
+    type Edge = ();
+
+    fn name(&self) -> &str {
+        "far-writer"
+    }
+    fn kinds(&self) -> &[ActionKind] {
+        FAR_KINDS
+    }
+    fn init_local(&self, _t: &Topology, _p: ProcessId) -> Phase {
+        Phase::Thinking
+    }
+    fn init_edge(&self, _t: &Topology, _e: EdgeId) {}
+    fn enabled(&self, view: &View<'_, Self>, a: ActionId) -> bool {
+        a.kind == 0 && *view.local() == Phase::Thinking
+    }
+    fn execute(&self, view: &View<'_, Self>, _a: ActionId) -> Vec<Write<Self>> {
+        let topo = view.topology();
+        let pid = view.pid();
+        let mut writes = vec![Write::Local(Phase::Hungry)];
+        if let Some(far) = topo
+            .processes()
+            .find(|&q| q != pid && !topo.are_neighbors(pid, q))
+        {
+            writes.push(Write::Edge {
+                neighbor: far,
+                value: (),
+            });
+        }
+        writes
+    }
+    fn corrupt_local(&self, rng: &mut StdRng, _t: &Topology, _p: ProcessId) -> Phase {
+        random_phase(rng)
+    }
+    fn corrupt_edge(&self, _r: &mut StdRng, _t: &Topology, _e: EdgeId) {}
+}
+
+phase_fixture!(FarWriter, false);
+
+/// Violates **purity**: its guard keeps hidden state in a [`Cell`] and
+/// alternates between `true` and `false` on successive evaluations of
+/// the *same* view. The double-evaluation differential must refute it.
+#[derive(Default)]
+pub struct FlickerGuard {
+    flip: Cell<bool>,
+}
+
+const FLICKER_KINDS: &[ActionKind] = &[ActionKind {
+    name: "flicker",
+    per_neighbor: false,
+}];
+
+impl Algorithm for FlickerGuard {
+    type Local = Phase;
+    type Edge = ();
+
+    fn name(&self) -> &str {
+        "flicker-guard"
+    }
+    fn kinds(&self) -> &[ActionKind] {
+        FLICKER_KINDS
+    }
+    fn init_local(&self, _t: &Topology, _p: ProcessId) -> Phase {
+        Phase::Thinking
+    }
+    fn init_edge(&self, _t: &Topology, _e: EdgeId) {}
+    fn enabled(&self, view: &View<'_, Self>, a: ActionId) -> bool {
+        a.kind == 0 && *view.local() == Phase::Thinking && self.flip.replace(!self.flip.get())
+    }
+    fn execute(&self, _view: &View<'_, Self>, _a: ActionId) -> Vec<Write<Self>> {
+        vec![Write::Local(Phase::Hungry)]
+    }
+    fn corrupt_local(&self, rng: &mut StdRng, _t: &Topology, _p: ProcessId) -> Phase {
+        random_phase(rng)
+    }
+    fn corrupt_edge(&self, _r: &mut StdRng, _t: &Topology, _e: EdgeId) {}
+}
+
+phase_fixture!(FlickerGuard, false);
+
+/// Violates the **malicious capability**: its `malicious_writes` writes
+/// a shared edge variable while keeping the default (empty) capability
+/// declaration. The locality certifier must refute it, and the engine
+/// must reject the write when a malicious crash is injected.
+pub struct RogueMalicious;
+
+const ROGUE_KINDS: &[ActionKind] = &[ActionKind {
+    name: "never",
+    per_neighbor: false,
+}];
+
+impl Algorithm for RogueMalicious {
+    type Local = Phase;
+    type Edge = ();
+
+    fn name(&self) -> &str {
+        "rogue-malicious"
+    }
+    fn kinds(&self) -> &[ActionKind] {
+        ROGUE_KINDS
+    }
+    fn init_local(&self, _t: &Topology, _p: ProcessId) -> Phase {
+        Phase::Thinking
+    }
+    fn init_edge(&self, _t: &Topology, _e: EdgeId) {}
+    fn enabled(&self, _view: &View<'_, Self>, _a: ActionId) -> bool {
+        false
+    }
+    fn execute(&self, _view: &View<'_, Self>, _a: ActionId) -> Vec<Write<Self>> {
+        Vec::new()
+    }
+    fn corrupt_local(&self, rng: &mut StdRng, _t: &Topology, _p: ProcessId) -> Phase {
+        random_phase(rng)
+    }
+    fn corrupt_edge(&self, _r: &mut StdRng, _t: &Topology, _e: EdgeId) {}
+    fn malicious_writes(&self, view: &View<'_, Self>, rng: &mut StdRng) -> Vec<Write<Self>> {
+        let mut writes = vec![Write::Local(self.corrupt_local(
+            rng,
+            view.topology(),
+            view.pid(),
+        ))];
+        if let Some(&q) = view.neighbors().first() {
+            writes.push(Write::Edge {
+                neighbor: q,
+                value: (),
+            });
+        }
+        writes
+    }
+}
+
+phase_fixture!(RogueMalicious, false);
+
+/// Violates the **equivariance declaration**: the toy algorithm's
+/// pid-tie-break guard (`hungry neighbor with smaller id wins`), but
+/// with `respects_symmetry()` falsely declared `true`. The equivariance
+/// certifier must flag the declared-vs-inferred mismatch with a
+/// commutation witness.
+pub struct FalselySymmetric;
+
+/// `join` kind index.
+pub const FS_JOIN: usize = 0;
+/// `enter` kind index.
+pub const FS_ENTER: usize = 1;
+/// `exit` kind index.
+pub const FS_EXIT: usize = 2;
+
+const FS_KINDS: &[ActionKind] = &[
+    ActionKind {
+        name: "join",
+        per_neighbor: false,
+    },
+    ActionKind {
+        name: "enter",
+        per_neighbor: false,
+    },
+    ActionKind {
+        name: "exit",
+        per_neighbor: false,
+    },
+];
+
+impl Algorithm for FalselySymmetric {
+    type Local = Phase;
+    type Edge = ();
+
+    fn name(&self) -> &str {
+        "falsely-symmetric"
+    }
+    fn kinds(&self) -> &[ActionKind] {
+        FS_KINDS
+    }
+    fn init_local(&self, _t: &Topology, _p: ProcessId) -> Phase {
+        Phase::Thinking
+    }
+    fn init_edge(&self, _t: &Topology, _e: EdgeId) {}
+    fn enabled(&self, view: &View<'_, Self>, a: ActionId) -> bool {
+        let me = *view.local();
+        match a.kind {
+            FS_JOIN => me == Phase::Thinking && view.needs(),
+            FS_ENTER => {
+                me == Phase::Hungry
+                    && view.neighbors().iter().all(|&q| {
+                        let ph = *view.neighbor_local(q);
+                        ph != Phase::Eating && !(ph == Phase::Hungry && q < view.pid())
+                    })
+            }
+            FS_EXIT => me == Phase::Eating && !view.needs(),
+            _ => false,
+        }
+    }
+    fn execute(&self, _view: &View<'_, Self>, a: ActionId) -> Vec<Write<Self>> {
+        let next = match a.kind {
+            FS_JOIN => Phase::Hungry,
+            FS_ENTER => Phase::Eating,
+            _ => Phase::Thinking,
+        };
+        vec![Write::Local(next)]
+    }
+    fn corrupt_local(&self, rng: &mut StdRng, _t: &Topology, _p: ProcessId) -> Phase {
+        random_phase(rng)
+    }
+    fn corrupt_edge(&self, _r: &mut StdRng, _t: &Topology, _e: EdgeId) {}
+}
+
+phase_fixture!(FalselySymmetric, true);

@@ -55,6 +55,7 @@ pub mod explore;
 pub mod expose;
 pub mod fault;
 pub mod fingerprint;
+pub mod footprint;
 pub mod graph;
 pub mod liveness;
 pub mod metrics;
@@ -80,6 +81,7 @@ pub use engine::{Engine, EnumerationMode, RunSummary, StepOutcome};
 pub use explore::{ExploreConfig, Reduction};
 pub use expose::MetricsServer;
 pub use fault::{FaultKind, FaultPlan, Health, Resurrection};
+pub use footprint::{analyze, AnalysisConfig, ContractReport, IndependenceMatrix};
 pub use graph::{EdgeId, Family, ProcessId, Topology};
 pub use liveness::{check_liveness, check_liveness_multi, Lasso, LivenessConfig, LivenessReport};
 pub use predicate::{Snapshot, StatePredicate};

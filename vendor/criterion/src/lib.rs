@@ -109,6 +109,7 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
         pub fn $name() {
             let mut c = $crate::Criterion::default();
             $( $target(&mut c); )+
